@@ -1,0 +1,48 @@
+// Extension experiment: FP64 micro-kernels. The VPE register file holds 16
+// FP64 lanes and the SPU broadcast path carries one 64-bit scalar per
+// cycle, so the broadcast-bandwidth wall of the paper's §IV-A3 moves: the
+// bound is vn/3 (33% for N<=16, 67% for N<=32, ~100% for 33<=N<=48).
+// This bench sweeps the same grid as Fig. 3 for FP64 and prints FP32
+// alongside for comparison.
+#include <cstdio>
+
+#include "ftm/kernelgen/microkernel.hpp"
+#include "ftm/util/reporter.hpp"
+
+using namespace ftm;
+
+int main() {
+  const auto& mc = isa::default_machine();
+  kernelgen::KernelCache cache(mc);
+
+  Table t({"M", "N(f64)", "K", "f64 GFlops", "f64 eff", "f64 bound",
+           "f32 eff @2N", "f32 bound"});
+  for (int k : {512, 32}) {
+    for (int n : {48, 32, 16, 8}) {
+      for (int m : {2, 4, 6, 8, 12}) {
+        kernelgen::KernelSpec s64{m, k, n};
+        s64.dtype = kernelgen::DType::F64;
+        const auto& uk64 = cache.get(s64);
+        // The comparable FP32 kernel covers the same vector count: 2N.
+        kernelgen::KernelSpec s32{m, k, 2 * n};
+        const auto& uk32 = cache.get(s32);
+        const double secs =
+            static_cast<double>(uk64.cycles()) / (mc.freq_ghz * 1e9);
+        t.begin_row()
+            .cell(static_cast<long long>(m))
+            .cell(static_cast<long long>(n))
+            .cell(static_cast<long long>(k))
+            .cell(s64.flops() / secs / 1e9, 1)
+            .cell(uk64.efficiency(), 3)
+            .cell(kernelgen::upper_bound_utilization(s64, mc), 3)
+            .cell(uk32.efficiency(), 3)
+            .cell(kernelgen::upper_bound_utilization(s32, mc), 3);
+      }
+    }
+  }
+  t.print("FP64 micro-kernels (extension): efficiency vs the moved "
+          "broadcast wall");
+  t.write_csv("fp64_kernels.csv");
+  std::printf("CSV written to fp64_kernels.csv\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Fig. 6: scalability of ftIMM from 1 to 8 DSP cores on the three
+// 20480-scale irregular GEMMs. The vertical axis is speedup over the
+// single-core run, as in the paper; sub-linear scaling should appear
+// because the problems are DDR-bandwidth-bound, and the type-II case
+// should scale worst (reduction overhead grows with core count).
+#include <cstdio>
+
+#include "ftm/core/ftimm.hpp"
+#include "ftm/util/reporter.hpp"
+#include "ftm/workload/sweeps.hpp"
+
+using namespace ftm;
+using core::FtimmOptions;
+using core::GemmInput;
+using core::GemmResult;
+
+int main() {
+  core::FtimmEngine eng;
+  const auto cases = workload::fig6_cases();
+
+  Table t({"cores", "typeI speedup", "typeI GFlops", "typeII speedup",
+           "typeII GFlops", "typeIII speedup", "typeIII GFlops"});
+  Table csv({"cores", "case", "M", "N", "K", "gflops", "speedup"});
+
+  std::vector<double> base(cases.size(), 0.0);
+  for (int cores = 1; cores <= 8; ++cores) {
+    t.begin_row().cell(static_cast<long long>(cores));
+    for (std::size_t i = 0; i < cases.size(); ++i) {
+      const auto& s = cases[i];
+      FtimmOptions opt;
+      opt.cores = cores;
+      opt.functional = false;
+      const GemmResult r =
+          eng.sgemm(GemmInput::shape_only(s.m, s.n, s.k), opt);
+      if (cores == 1) base[i] = r.seconds;
+      const double speedup = base[i] / r.seconds;
+      t.cell(speedup, 2).cell(r.gflops, 1);
+      csv.begin_row()
+          .cell(static_cast<long long>(cores))
+          .cell(static_cast<long long>(static_cast<long long>(i) + 1))
+          .cell(s.m)
+          .cell(s.n)
+          .cell(s.k)
+          .cell(r.gflops, 2)
+          .cell(speedup, 3);
+    }
+  }
+  t.print(
+      "Fig. 6: scalability (type I: 20480x32x32 | type II: 32x32x20480 | "
+      "type III: 20480x32x20480)");
+  csv.write_csv("fig6_scalability.csv");
+  std::printf("CSV written to fig6_scalability.csv\n");
+  return 0;
+}

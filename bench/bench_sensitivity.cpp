@@ -1,0 +1,97 @@
+// Hardware-sensitivity study (extension): the whole machine description is
+// a parameter (src/isa/machine.hpp), so we can ask what FT-m7032's
+// designers would: how much DDR bandwidth would the irregular shapes need
+// before ftIMM becomes compute-bound, and how much does DMA startup
+// latency matter at ftIMM's block sizes?
+#include <cstdio>
+
+#include "ftm/core/ftimm.hpp"
+#include "ftm/util/reporter.hpp"
+#include "ftm/workload/sweeps.hpp"
+
+using namespace ftm;
+using core::FtimmOptions;
+using core::GemmInput;
+using core::GemmResult;
+
+int main() {
+  FtimmOptions opt;
+  opt.functional = false;
+
+  // --- DDR bandwidth scaling -------------------------------------------
+  {
+    Table t({"bw scale", "GB/s", "typeI GFlops", "typeII GFlops",
+             "typeIII GFlops", "typeIII % of compute peak"});
+    for (double scale : {0.5, 1.0, 2.0, 4.0, 8.0}) {
+      isa::MachineConfig mc;
+      mc.ddr_bytes_per_sec *= scale;
+      core::FtimmEngine eng(mc);
+      const auto cases = workload::fig6_cases();
+      double g[3];
+      for (int i = 0; i < 3; ++i) {
+        g[i] = eng.sgemm(GemmInput::shape_only(cases[i].m, cases[i].n,
+                                               cases[i].k),
+                         opt)
+                   .gflops;
+      }
+      t.begin_row()
+          .cell(scale, 1)
+          .cell(mc.ddr_bytes_per_sec / 1e9, 1)
+          .cell(g[0], 1)
+          .cell(g[1], 1)
+          .cell(g[2], 1)
+          .cell(100.0 * g[2] / mc.cluster_peak_gflops(), 1);
+    }
+    t.print(
+        "Sensitivity: DDR bandwidth (paper hardware = scale 1.0; the "
+        "irregular shapes stay memory-bound until several x)");
+    t.write_csv("sensitivity_bandwidth.csv");
+  }
+
+  // --- DMA startup latency ----------------------------------------------
+  {
+    Table t({"startup cycles", "typeI GFlops", "small-batch GFlops"});
+    for (std::uint64_t startup : {0ull, 256ull, 1024ull, 4096ull}) {
+      isa::MachineConfig mc;
+      mc.dma_startup_cycles = startup;
+      core::FtimmEngine eng(mc);
+      const double g1 =
+          eng.sgemm(GemmInput::shape_only(1 << 18, 32, 32), opt).gflops;
+      // Small blocks feel startup hardest.
+      const double g2 =
+          eng.sgemm(GemmInput::shape_only(2048, 8, 8), opt).gflops;
+      t.begin_row()
+          .cell(static_cast<std::size_t>(startup))
+          .cell(g1, 1)
+          .cell(g2, 1);
+    }
+    t.print("Sensitivity: DMA startup latency (assumption in machine.hpp)");
+    t.write_csv("sensitivity_dma_startup.csv");
+  }
+
+  // --- Broadcast bandwidth: the paper's key micro-architectural limit ---
+  {
+    Table t({"bcast fp32/cycle", "N=32 kernel eff", "N=96 kernel eff"});
+    for (int bc : {1, 2, 4}) {
+      isa::MachineConfig mc;
+      mc.broadcast_fp32_per_cycle = bc;
+      // Note: the ISA models the ceiling structurally (one SVBCAST2 slot),
+      // so only the analytic bound moves here; the generated-kernel
+      // efficiency column uses the default machine and is repeated to
+      // show what the structural ceiling produces.
+      core::FtimmEngine eng;
+      const auto& k32 = eng.kernels().get({6, 512, 32});
+      const auto& k96 = eng.kernels().get({8, 512, 96});
+      t.begin_row()
+          .cell(static_cast<long long>(bc))
+          .cell(k32.efficiency(), 3)
+          .cell(k96.efficiency(), 3);
+    }
+    t.print("Broadcast path: structural 2-FP32/cycle ceiling (paper "
+            "§IV-A1); N<=32 kernels pinned to 2/3 peak");
+  }
+
+  std::printf("CSVs written to sensitivity_bandwidth.csv, "
+              "sensitivity_dma_startup.csv\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Fig. 4: single-core performance of ftIMM vs TGEMM on the three types of
+// irregular-shaped GEMMs (timing-only simulation: cycle counts come from
+// calibrated kernels plus the DMA model; data movement is not needed for
+// the performance figures).
+#include <cstdio>
+#include <vector>
+
+#include "ftm/core/ftimm.hpp"
+#include "ftm/util/reporter.hpp"
+#include "ftm/workload/sweeps.hpp"
+
+using namespace ftm;
+using core::FtimmOptions;
+using core::GemmInput;
+using core::GemmResult;
+
+namespace {
+
+void run_panel(core::FtimmEngine& eng, const char* title,
+               const std::vector<workload::GemmShape>& shapes, Table& all,
+               const char* panel) {
+  Table t({"M", "N", "K", "ftIMM GFlops", "TGEMM GFlops", "speedup",
+           "strategy"});
+  for (const auto& s : shapes) {
+    FtimmOptions opt;
+    opt.cores = 1;
+    opt.functional = false;
+    const GemmInput in = GemmInput::shape_only(s.m, s.n, s.k);
+    const GemmResult ft = eng.sgemm(in, opt);
+    const GemmResult tg = eng.tgemm(in, opt);
+    const double speedup = tg.seconds / ft.seconds;
+    t.begin_row()
+        .cell(s.m)
+        .cell(s.n)
+        .cell(s.k)
+        .cell(ft.gflops, 1)
+        .cell(tg.gflops, 1)
+        .cell(speedup, 2)
+        .cell(to_string(ft.strategy));
+    all.begin_row()
+        .cell(panel)
+        .cell(s.m)
+        .cell(s.n)
+        .cell(s.k)
+        .cell(ft.gflops, 1)
+        .cell(tg.gflops, 1)
+        .cell(speedup, 2);
+  }
+  t.print(title);
+}
+
+}  // namespace
+
+int main() {
+  core::FtimmEngine eng;
+  Table all({"panel", "M", "N", "K", "ftimm_gflops", "tgemm_gflops",
+             "speedup"});
+  run_panel(eng, "Fig. 4(a): tall-and-skinny x small, M=20480, single core",
+            workload::fig4_type1(), all, "a");
+  run_panel(eng,
+            "Fig. 4(b): skinny-and-tall x tall-and-skinny, K=20480, single "
+            "core",
+            workload::fig4_type2(), all, "b");
+  run_panel(eng,
+            "Fig. 4(c): large regular x tall-and-skinny, M=K=20480, single "
+            "core",
+            workload::fig4_type3(), all, "c");
+  all.write_csv("fig4_singlecore.csv");
+  std::printf("CSV written to fig4_singlecore.csv\n");
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Batched irregular GEMM — an extension beyond the paper, covering its
+// FEM/libxsmm motivation (§I): many small independent GEMMs whose shapes
+// are individually too small to occupy eight DSP cores.
+//
+// Scheduling model: problems large enough to use the whole cluster run one
+// after another on all cores; the small remainder is distributed
+// round-robin, one core per problem, with DDR bandwidth shared among the
+// concurrently running cores (FtimmOptions::bandwidth_share). Total time =
+// serial (wide) phase + max over cores of their small-problem queues.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "ftm/core/ftimm.hpp"
+
+namespace ftm::core {
+
+struct BatchedResult {
+  std::uint64_t cycles = 0;  ///< makespan of the whole batch
+  double seconds = 0;
+  double gflops = 0;         ///< aggregate achieved throughput
+  double flops = 0;
+  std::size_t problems = 0;
+  std::size_t wide_problems = 0;   ///< ran on all cores, serially
+  std::size_t small_problems = 0;  ///< ran core-parallel across the batch
+};
+
+/// Flops above which a single problem occupies the whole cluster instead
+/// of one core of the batch-parallel phase.
+constexpr double kWideProblemFlops = 256.0 * 1024 * 1024;
+
+/// Executes every problem (C += A*B each); returns the batch makespan on
+/// the simulated cluster. Functional mode writes every problem's C.
+BatchedResult sgemm_batched(FtimmEngine& engine,
+                            std::span<const GemmInput> problems,
+                            const FtimmOptions& opt = {});
+
+}  // namespace ftm::core

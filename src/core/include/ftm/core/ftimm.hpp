@@ -1,0 +1,67 @@
+// Public entry point of the library: FtimmEngine.
+//
+//   ftm::core::FtimmEngine engine;                 // one simulated cluster
+//   auto in = ftm::core::GemmInput::bound(A, B, C);
+//   auto r  = engine.sgemm(in);                    // ftIMM: C += A*B
+//
+// sgemm() reproduces ftIMM (paper §IV): it classifies the shape, picks the
+// M- or K-dimension parallel strategy (or the TGEMM path for regular
+// shapes), adjusts block sizes dynamically, and auto-generates whatever
+// micro-kernels the chosen blocks require. tgemm() runs the traditional
+// baseline for comparison. Both return the simulated cycle cost and
+// achieved GFlops on the modeled FT-m7032 GPDSP cluster.
+#pragma once
+
+#include "ftm/core/blocking.hpp"
+#include "ftm/core/roofline.hpp"
+#include "ftm/core/strategies.hpp"
+#include "ftm/core/types.hpp"
+#include "ftm/kernelgen/microkernel.hpp"
+#include "ftm/sim/cluster.hpp"
+
+namespace ftm::core {
+
+class FtimmEngine {
+ public:
+  explicit FtimmEngine(const isa::MachineConfig& mc = isa::default_machine());
+
+  /// ftIMM: dynamic strategy + block selection (§IV-C), then execution.
+  GemmResult sgemm(const GemmInput& in, const FtimmOptions& opt = {});
+
+  /// The TGEMM baseline (Algorithm 1) with its fixed blocks.
+  GemmResult tgemm(const GemmInput& in, const FtimmOptions& opt = {});
+
+  /// Empirical auto-tuner: times every applicable strategy in timing-only
+  /// mode and runs the winner (functionally if requested). The analytic
+  /// dispatcher is the default; this is the measured alternative.
+  GemmResult sgemm_autotuned(const GemmInput& in, const FtimmOptions& opt = {});
+
+  /// The shape dispatcher of §IV-C, exposed for tests/benchmarks.
+  Strategy choose_strategy(std::size_t m, std::size_t n, std::size_t k) const;
+
+  /// Block configurations after dynamic adjustment for a shape.
+  MBlocks m_blocks_for(std::size_t m, std::size_t n, std::size_t k,
+                       bool dynamic = true, int cores = 8) const;
+  KBlocks k_blocks_for(std::size_t m, std::size_t n, std::size_t k,
+                       bool dynamic = true, int cores = 8) const;
+  const TBlocks& t_blocks() const { return tblocks_; }
+
+  double roofline(std::size_t m, std::size_t n, std::size_t k,
+                  int cores) const {
+    return roofline_gflops(m, n, k, cores, mc_);
+  }
+
+  sim::Cluster& cluster() { return cluster_; }
+  kernelgen::KernelCache& kernels() { return cache_; }
+  const isa::MachineConfig& machine() const { return mc_; }
+
+ private:
+  isa::MachineConfig mc_;
+  sim::Cluster cluster_;
+  kernelgen::KernelCache cache_;
+  MBlocks mblocks0_;
+  KBlocks kblocks0_;
+  TBlocks tblocks_;
+};
+
+}  // namespace ftm::core

@@ -1,0 +1,22 @@
+// Roofline model used in Fig. 5: the attainable performance of a GEMM on
+// one GPDSP cluster given its compulsory DDR traffic and the published
+// 42.6 GB/s bandwidth.
+#pragma once
+
+#include <cstddef>
+
+#include "ftm/isa/machine.hpp"
+
+namespace ftm::core {
+
+/// Compulsory DDR traffic of C += A*B in bytes (read A, B, C; write C).
+double min_ddr_bytes(std::size_t m, std::size_t n, std::size_t k);
+
+/// Arithmetic intensity (flops per DDR byte).
+double arithmetic_intensity(std::size_t m, std::size_t n, std::size_t k);
+
+/// min(compute peak of `cores`, AI * DDR bandwidth), in GFlops.
+double roofline_gflops(std::size_t m, std::size_t n, std::size_t k,
+                       int cores, const isa::MachineConfig& mc);
+
+}  // namespace ftm::core

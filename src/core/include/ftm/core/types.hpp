@@ -1,0 +1,80 @@
+// Public types of the ftIMM core API.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ftm/util/matrix.hpp"
+
+namespace ftm::core {
+
+/// Which multi-core algorithm executes a GEMM.
+enum class Strategy {
+  Auto,       ///< dispatcher decides from the shape (§IV-C)
+  TGemm,      ///< Algorithm 1 baseline (N-dimension parallel, fixed blocks)
+  ParallelM,  ///< Algorithm 4 (M-dimension parallel, B panel in GSM)
+  ParallelK,  ///< Algorithm 5 (K-dimension parallel, GSM reduction)
+};
+
+const char* to_string(Strategy s);
+
+/// One GEMM invocation: C += A * B. Views may be empty when the engine
+/// runs in timing-only mode (huge sweeps where only cycles matter).
+struct GemmInput {
+  std::size_t m = 0, n = 0, k = 0;
+  ConstMatrixView a;  ///< M x K
+  ConstMatrixView b;  ///< K x N
+  MatrixView c;       ///< M x N
+
+  static GemmInput shape_only(std::size_t m, std::size_t n, std::size_t k) {
+    GemmInput in;
+    in.m = m;
+    in.n = n;
+    in.k = k;
+    return in;
+  }
+  static GemmInput bound(ConstMatrixView a, ConstMatrixView b, MatrixView c) {
+    GemmInput in;
+    in.m = a.rows();
+    in.n = b.cols();
+    in.k = a.cols();
+    in.a = a;
+    in.b = b;
+    in.c = c;
+    FTM_EXPECTS(b.rows() == in.k && c.rows() == in.m && c.cols() == in.n);
+    return in;
+  }
+  double flops() const { return 2.0 * m * n * k; }
+};
+
+/// Execution controls. The ablation switches exist so benchmarks can
+/// quantify each design ingredient (DESIGN.md §5).
+struct FtimmOptions {
+  int cores = 8;               ///< active DSP cores (1..8)
+  bool functional = true;      ///< move real data; false = timing only
+  Strategy force = Strategy::Auto;
+  bool dynamic_blocks = true;  ///< apply §IV-C adjustment (ablation)
+  bool pingpong = true;        ///< DMA/compute overlap (ablation)
+  /// When > 0, DDR/GSM bandwidth is shared among this many cores instead
+  /// of the run's own worker count — used by the batched scheduler, where
+  /// other cores run *other* GEMMs concurrently.
+  int bandwidth_share = 0;
+  /// K-strategy reduction: false = serial accumulation on core 0 (the
+  /// paper's scheme, cost linear in cores); true = pairwise tree across
+  /// cores (log2(cores) rounds) — an extension/ablation.
+  bool tree_reduction = false;
+};
+
+/// What a simulated GEMM cost.
+struct GemmResult {
+  std::uint64_t cycles = 0;
+  double seconds = 0;
+  double gflops = 0;
+  double efficiency = 0;  ///< gflops / (cores * per-core peak)
+  Strategy strategy = Strategy::Auto;
+  int cores = 0;
+  std::uint64_t ddr_bytes = 0;     ///< DDR traffic (both directions)
+  std::uint64_t kernel_calls = 0;  ///< micro-kernel invocations
+};
+
+}  // namespace ftm::core

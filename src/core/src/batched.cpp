@@ -1,0 +1,59 @@
+#include "ftm/core/batched.hpp"
+
+#include <algorithm>
+
+namespace ftm::core {
+
+BatchedResult sgemm_batched(FtimmEngine& engine,
+                            std::span<const GemmInput> problems,
+                            const FtimmOptions& opt) {
+  FTM_EXPECTS(opt.cores >= 1 &&
+              opt.cores <= engine.machine().cores_per_cluster);
+  BatchedResult res;
+  res.problems = problems.size();
+  if (problems.empty()) return res;
+
+  // Partition into wide (whole-cluster) and small (one core each).
+  std::vector<std::size_t> wide, small;
+  for (std::size_t i = 0; i < problems.size(); ++i) {
+    if (problems[i].flops() >= kWideProblemFlops && opt.cores > 1) {
+      wide.push_back(i);
+    } else {
+      small.push_back(i);
+    }
+  }
+  res.wide_problems = wide.size();
+  res.small_problems = small.size();
+
+  std::uint64_t serial_cycles = 0;
+  for (std::size_t i : wide) {
+    const GemmResult r = engine.sgemm(problems[i], opt);
+    serial_cycles += r.cycles;
+    res.flops += problems[i].flops();
+  }
+
+  // Small problems: one core per problem, round-robin queues. While W
+  // queues drain concurrently, each run sees 1/W of the DDR bandwidth.
+  const int W = static_cast<int>(std::min<std::size_t>(
+      static_cast<std::size_t>(opt.cores), std::max<std::size_t>(1, small.size())));
+  std::vector<std::uint64_t> queue_cycles(static_cast<std::size_t>(W), 0);
+  FtimmOptions sub = opt;
+  sub.cores = 1;
+  sub.bandwidth_share = W;
+  for (std::size_t idx = 0; idx < small.size(); ++idx) {
+    const GemmResult r = engine.sgemm(problems[small[idx]], sub);
+    queue_cycles[idx % static_cast<std::size_t>(W)] += r.cycles;
+    res.flops += problems[small[idx]].flops();
+  }
+  std::uint64_t parallel_cycles = 0;
+  for (std::uint64_t q : queue_cycles)
+    parallel_cycles = std::max(parallel_cycles, q);
+
+  res.cycles = serial_cycles + parallel_cycles;
+  res.seconds = static_cast<double>(res.cycles) /
+                (engine.machine().freq_ghz * 1e9);
+  res.gflops = res.seconds > 0 ? res.flops / res.seconds / 1e9 : 0.0;
+  return res;
+}
+
+}  // namespace ftm::core

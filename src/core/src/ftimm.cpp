@@ -1,0 +1,106 @@
+#include "ftm/core/ftimm.hpp"
+
+#include <algorithm>
+
+namespace ftm::core {
+
+const char* to_string(Strategy s) {
+  switch (s) {
+    case Strategy::Auto: return "auto";
+    case Strategy::TGemm: return "tgemm";
+    case Strategy::ParallelM: return "ftimm-M";
+    case Strategy::ParallelK: return "ftimm-K";
+  }
+  return "?";
+}
+
+FtimmEngine::FtimmEngine(const isa::MachineConfig& mc)
+    : mc_(mc),
+      cluster_(mc),
+      cache_(mc),
+      mblocks0_(initial_m_blocks(mc)),
+      kblocks0_(initial_k_blocks(mc)) {}
+
+Strategy FtimmEngine::choose_strategy(std::size_t m, std::size_t n,
+                                      std::size_t k) const {
+  // §IV-C: with N <= n_a and M sufficiently large, parallelize over M
+  // (covers the tall-x-small and regular-x-tall-skinny cases). With small
+  // M but large K, parallelize over K with the GSM reduction. Shapes with
+  // wide N stay on the traditional path, which parallelizes over N.
+  if (n > 96) return Strategy::TGemm;
+  const std::size_t cores = static_cast<std::size_t>(mc_.cores_per_cluster);
+  const std::size_t m_needed = cores * 6;  // at least one m_s>=6 slice/core
+  if (m >= m_needed && m >= k / 8) return Strategy::ParallelM;
+  if (k > m && k >= cores * 32) return Strategy::ParallelK;
+  return Strategy::ParallelM;
+}
+
+MBlocks FtimmEngine::m_blocks_for(std::size_t m, std::size_t n,
+                                  std::size_t k, bool dynamic,
+                                  int cores) const {
+  return dynamic ? adjust_m_blocks(mblocks0_, m, n, k, mc_, cores)
+                 : mblocks0_;
+}
+
+KBlocks FtimmEngine::k_blocks_for(std::size_t m, std::size_t n,
+                                  std::size_t k, bool dynamic,
+                                  int cores) const {
+  return dynamic ? adjust_k_blocks(kblocks0_, m, n, k, mc_, cores)
+                 : kblocks0_;
+}
+
+GemmResult FtimmEngine::sgemm(const GemmInput& in, const FtimmOptions& opt) {
+  FTM_EXPECTS(in.m >= 1 && in.n >= 1 && in.k >= 1);
+  FTM_EXPECTS(opt.cores >= 1 && opt.cores <= mc_.cores_per_cluster);
+  Strategy s = opt.force;
+  if (s == Strategy::Auto) s = choose_strategy(in.m, in.n, in.k);
+  switch (s) {
+    case Strategy::ParallelM:
+      return run_strategy_m(cluster_, cache_, in,
+                            m_blocks_for(in.m, in.n, in.k,
+                                         opt.dynamic_blocks, opt.cores),
+                            opt);
+    case Strategy::ParallelK:
+      return run_strategy_k(cluster_, cache_, in,
+                            k_blocks_for(in.m, in.n, in.k,
+                                         opt.dynamic_blocks, opt.cores),
+                            opt);
+    case Strategy::TGemm:
+      return run_tgemm(cluster_, cache_, in, tblocks_, opt);
+    case Strategy::Auto:
+      break;
+  }
+  FTM_ASSERT(false);
+  return {};
+}
+
+GemmResult FtimmEngine::tgemm(const GemmInput& in, const FtimmOptions& opt) {
+  FTM_EXPECTS(in.m >= 1 && in.n >= 1 && in.k >= 1);
+  return run_tgemm(cluster_, cache_, in, tblocks_, opt);
+}
+
+GemmResult FtimmEngine::sgemm_autotuned(const GemmInput& in,
+                                        const FtimmOptions& opt) {
+  // Dry-run the candidates in timing-only mode (cheap: no data movement),
+  // then execute the fastest with the caller's settings.
+  FtimmOptions dry = opt;
+  dry.functional = false;
+  GemmInput shape = GemmInput::shape_only(in.m, in.n, in.k);
+
+  Strategy best = Strategy::TGemm;
+  std::uint64_t best_cycles = ~std::uint64_t{0};
+  for (Strategy s :
+       {Strategy::ParallelM, Strategy::ParallelK, Strategy::TGemm}) {
+    dry.force = s;
+    const GemmResult r = sgemm(shape, dry);
+    if (r.cycles < best_cycles) {
+      best_cycles = r.cycles;
+      best = s;
+    }
+  }
+  FtimmOptions run = opt;
+  run.force = best;
+  return sgemm(in, run);
+}
+
+}  // namespace ftm::core

@@ -1,0 +1,106 @@
+// Internal helpers shared by the three GEMM strategy implementations.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "ftm/core/types.hpp"
+#include "ftm/kernelgen/microkernel.hpp"
+#include "ftm/sim/cluster.hpp"
+
+namespace ftm::core::detail {
+
+/// Per-run bookkeeping: DDR traffic, kernel-call count, and the ping-pong
+/// ablation (when disabled every DMA is awaited immediately, removing all
+/// compute/transfer overlap).
+struct RunCtx {
+  sim::Cluster& cl;
+  kernelgen::KernelCache& cache;
+  const FtimmOptions& opt;
+  bool fn;  ///< functional (data-moving) mode
+  std::uint64_t ddr_bytes = 0;
+  std::uint64_t kernel_calls = 0;
+
+  RunCtx(sim::Cluster& c, kernelgen::KernelCache& k, const FtimmOptions& o)
+      : cl(c), cache(k), opt(o), fn(o.functional) {
+    cl.reset();
+    cl.set_functional(o.functional);
+    cl.set_active_cores(o.cores);
+  }
+
+  /// Cores that actually receive work. Idle cores issue no DMA, so they
+  /// must not count toward the DDR bandwidth-sharing factor — this is what
+  /// lets TGEMM's single working core (N <= 96) keep the full 42.6 GB/s.
+  /// An explicit bandwidth_share (batched mode: other cores are busy with
+  /// other GEMMs) overrides the worker count.
+  void set_workers(std::size_t parallel_iterations) {
+    int w = static_cast<int>(std::min<std::size_t>(
+        static_cast<std::size_t>(opt.cores),
+        std::max<std::size_t>(1, parallel_iterations)));
+    if (opt.bandwidth_share > 0) {
+      w = std::min(opt.bandwidth_share, cl.machine().cores_per_cluster);
+    }
+    cl.set_active_cores(w);
+  }
+
+  sim::DmaHandle dma(int core, const sim::DmaRequest& req,
+                     const std::uint8_t* src, std::uint8_t* dst) {
+    if (req.route == sim::DmaRoute::DdrToSpm ||
+        req.route == sim::DmaRoute::SpmToDdr) {
+      ddr_bytes += req.total_bytes();
+    }
+    const sim::DmaHandle h = cl.dma(core, req, src, dst);
+    if (!opt.pingpong) cl.timeline(core).dma_wait(h);
+    return h;
+  }
+
+  /// Charge a micro-kernel execution on `core`'s timeline; runs the math
+  /// in functional mode.
+  void kernel(int core, const kernelgen::MicroKernel& uk, const float* a,
+              const float* b, float* c) {
+    ++kernel_calls;
+    std::uint64_t cycles;
+    if (fn) {
+      cycles = uk.run_fast(a, b, c);
+    } else {
+      cycles = uk.cost_only();
+    }
+    cl.timeline(core).compute(cycles);
+  }
+
+  GemmResult finish(const GemmInput& in, Strategy s) {
+    cl.barrier();
+    GemmResult r;
+    r.cycles = cl.max_time();
+    r.seconds = cl.cycles_to_seconds(r.cycles);
+    r.gflops = cl.gflops(in.flops(), r.cycles);
+    const double peak =
+        cl.machine().core_peak_gflops() * static_cast<double>(opt.cores);
+    r.efficiency = peak > 0 ? r.gflops / peak : 0.0;
+    r.strategy = s;
+    r.cores = opt.cores;
+    r.ddr_bytes = ddr_bytes;
+    r.kernel_calls = kernel_calls;
+    return r;
+  }
+};
+
+/// Round-robin ownership of parallel-loop iterations.
+inline bool owns(int core, std::size_t iteration, int cores) {
+  return static_cast<int>(iteration % static_cast<std::size_t>(cores)) ==
+         core;
+}
+
+inline const std::uint8_t* host_src(ConstMatrixView v, std::size_t r,
+                                    std::size_t c, bool fn) {
+  if (!fn) return nullptr;
+  return reinterpret_cast<const std::uint8_t*>(v.data() + r * v.ld() + c);
+}
+
+inline std::uint8_t* host_dst(MatrixView v, std::size_t r, std::size_t c,
+                              bool fn) {
+  if (!fn) return nullptr;
+  return reinterpret_cast<std::uint8_t*>(v.data() + r * v.ld() + c);
+}
+
+}  // namespace ftm::core::detail

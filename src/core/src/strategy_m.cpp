@@ -1,0 +1,205 @@
+#include <algorithm>
+#include <vector>
+
+#include "ftm/core/strategies.hpp"
+#include "strategy_common.hpp"
+
+namespace ftm::core {
+
+using detail::RunCtx;
+
+// Algorithm 4: M-dimension parallelization.
+//   for i (n_g blocks of N)
+//     for j (k_g blocks of K)           <- B panel -> GSM, ping-pong
+//       for t (m_a blocks of M) PARALLEL over cores
+//         for ii (n_a blocks of n_g)
+//           C tile (m_a x n_a) -> AM
+//           for jj (k_a blocks of k_g)  <- B_a GSM -> AM, ping-pong
+//             for tt (m_s slices)       <- A_s DDR -> SM, ping-pong
+//               micro-kernel (exact n_a, no padding)
+//           C tile -> DDR
+GemmResult run_strategy_m(sim::Cluster& cl, kernelgen::KernelCache& cache,
+                          const GemmInput& in, const MBlocks& mb,
+                          const FtimmOptions& opt) {
+  check_m_blocks(mb, cl.machine());
+  RunCtx ctx(cl, cache, opt);
+  const bool fn = ctx.fn;
+  const int P = opt.cores;
+  const std::size_t M = in.m, N = in.n, K = in.k;
+  const std::size_t pitch_max = am_pitch_floats(mb.na);
+
+  // --- Provisioning ---
+  sim::Region bg[2];
+  for (auto& r : bg) r = cl.gsm().alloc(mb.kg * mb.ng * sizeof(float));
+  struct PerCore {
+    sim::Region ca, ba[2], as[2];
+  };
+  std::vector<PerCore> pc(P);
+  for (int c = 0; c < P; ++c) {
+    pc[c].ca = cl.core(c).am().alloc(mb.ma * pitch_max * sizeof(float));
+    for (auto& r : pc[c].ba)
+      r = cl.core(c).am().alloc(mb.ka * pitch_max * sizeof(float));
+    for (auto& r : pc[c].as)
+      r = cl.core(c).sm().alloc(mb.ms * mb.ka * sizeof(float));
+  }
+
+  struct Panel {
+    std::size_t i0, ng_t, j0, kg_t;
+  };
+  std::vector<Panel> panels;
+  for (std::size_t i0 = 0; i0 < N; i0 += mb.ng) {
+    for (std::size_t j0 = 0; j0 < K; j0 += mb.kg) {
+      panels.push_back({i0, std::min(mb.ng, N - i0), j0,
+                        std::min(mb.kg, K - j0)});
+    }
+  }
+
+  auto load_bg = [&](std::size_t idx) -> sim::DmaHandle {
+    const Panel& p = panels[idx];
+    sim::DmaRequest req;
+    req.route = sim::DmaRoute::DdrToSpm;
+    req.rows = p.kg_t;
+    req.row_bytes = p.ng_t * sizeof(float);
+    req.src_stride = in.b.ld() * sizeof(float);
+    req.dst_stride = p.ng_t * sizeof(float);
+    return ctx.dma(0, req, detail::host_src(in.b, p.j0, p.i0, fn),
+                   fn ? cl.gsm().raw(bg[idx % 2].offset,
+                                     p.kg_t * p.ng_t * sizeof(float))
+                      : nullptr);
+  };
+
+  const std::size_t ntb = (M + mb.ma - 1) / mb.ma;  // parallel t blocks
+  ctx.set_workers(ntb);
+
+  std::vector<sim::DmaHandle> bg_handle(panels.size());
+  if (!panels.empty()) bg_handle[0] = load_bg(0);
+
+  for (std::size_t pi = 0; pi < panels.size(); ++pi) {
+    const Panel& p = panels[pi];
+    if (pi + 1 < panels.size()) bg_handle[pi + 1] = load_bg(pi + 1);
+    const std::uint64_t bg_ready = cl.timeline(0).done_time(bg_handle[pi]);
+    const std::size_t bg_off = bg[pi % 2].offset;
+
+    for (int core = 0; core < P; ++core) {
+      auto& tl = cl.timeline(core);
+      tl.advance_to(bg_ready);
+
+      for (std::size_t tb = 0; tb < ntb; ++tb) {
+        if (!detail::owns(core, tb, P)) continue;
+        const std::size_t t0 = tb * mb.ma;
+        const std::size_t ma_t = std::min(mb.ma, M - t0);
+
+        for (std::size_t ii = 0; ii < p.ng_t; ii += mb.na) {
+          const std::size_t na_t = std::min(mb.na, p.ng_t - ii);
+          const std::size_t pitch = am_pitch_floats(na_t);
+
+          // C tile in.
+          sim::DmaRequest creq;
+          creq.route = sim::DmaRoute::DdrToSpm;
+          creq.rows = ma_t;
+          creq.row_bytes = na_t * sizeof(float);
+          creq.src_stride = in.c.ld() * sizeof(float);
+          creq.dst_stride = pitch * sizeof(float);
+          const auto ch = ctx.dma(
+              core, creq, detail::host_src(in.c, t0, p.i0 + ii, fn),
+              fn ? cl.core(core).am().raw(pc[core].ca.offset,
+                                          ma_t * pitch * sizeof(float))
+                 : nullptr);
+
+          // B_a tiles from GSM, ping-ponged over jj.
+          const std::size_t njj = (p.kg_t + mb.ka - 1) / mb.ka;
+          auto load_ba = [&](std::size_t jb) -> sim::DmaHandle {
+            const std::size_t jj = jb * mb.ka;
+            const std::size_t ka_t = std::min(mb.ka, p.kg_t - jj);
+            sim::DmaRequest req;
+            req.route = sim::DmaRoute::GsmToSpm;
+            req.rows = ka_t;
+            req.row_bytes = na_t * sizeof(float);
+            req.src_stride = p.ng_t * sizeof(float);
+            req.dst_stride = pitch * sizeof(float);
+            return ctx.dma(
+                core, req,
+                fn ? cl.gsm().raw(
+                         bg_off + (jj * p.ng_t + ii) * sizeof(float),
+                         ((ka_t - 1) * p.ng_t + na_t) * sizeof(float))
+                   : nullptr,
+                fn ? cl.core(core).am().raw(pc[core].ba[jb % 2].offset,
+                                            ka_t * pitch * sizeof(float))
+                   : nullptr);
+          };
+          sim::DmaHandle bh = load_ba(0);
+          tl.dma_wait(ch);
+
+          for (std::size_t jb = 0; jb < njj; ++jb) {
+            const std::size_t jj = jb * mb.ka;
+            const std::size_t ka_t = std::min(mb.ka, p.kg_t - jj);
+            tl.dma_wait(bh);
+            if (jb + 1 < njj) bh = load_ba(jb + 1);
+
+            // A_s slices from DDR, ping-ponged over tt.
+            const std::size_t slices = (ma_t + mb.ms - 1) / mb.ms;
+            auto load_as = [&](std::size_t s) -> sim::DmaHandle {
+              const std::size_t tt = s * mb.ms;
+              const std::size_t mrows = std::min(mb.ms, ma_t - tt);
+              sim::DmaRequest req;
+              req.route = sim::DmaRoute::DdrToSpm;
+              req.rows = mrows;
+              req.row_bytes = ka_t * sizeof(float);
+              req.src_stride = in.a.ld() * sizeof(float);
+              req.dst_stride = ka_t * sizeof(float);
+              return ctx.dma(core, req,
+                             detail::host_src(in.a, t0 + tt, p.j0 + jj, fn),
+                             fn ? cl.core(core).sm().raw(
+                                      pc[core].as[s % 2].offset,
+                                      mrows * ka_t * sizeof(float))
+                                : nullptr);
+            };
+            sim::DmaHandle ah = load_as(0);
+            for (std::size_t s = 0; s < slices; ++s) {
+              const std::size_t tt = s * mb.ms;
+              const std::size_t mrows = std::min(mb.ms, ma_t - tt);
+              tl.dma_wait(ah);
+              if (s + 1 < slices) ah = load_as(s + 1);
+              kernelgen::KernelSpec spec;
+              spec.ms = static_cast<int>(mrows);
+              spec.ka = static_cast<int>(ka_t);
+              spec.na = static_cast<int>(na_t);
+              const auto& uk = ctx.cache.get(spec);
+              ctx.kernel(
+                  core, uk,
+                  fn ? cl.core(core).sm().f32(pc[core].as[s % 2].offset,
+                                              mrows * ka_t)
+                     : nullptr,
+                  fn ? cl.core(core).am().f32(pc[core].ba[jb % 2].offset,
+                                              ka_t * pitch)
+                     : nullptr,
+                  fn ? cl.core(core).am().f32(
+                           pc[core].ca.offset + tt * pitch * sizeof(float),
+                           mrows * pitch)
+                     : nullptr);
+            }
+          }
+
+          // C tile out.
+          sim::DmaRequest oreq;
+          oreq.route = sim::DmaRoute::SpmToDdr;
+          oreq.rows = ma_t;
+          oreq.row_bytes = na_t * sizeof(float);
+          oreq.src_stride = pitch * sizeof(float);
+          oreq.dst_stride = in.c.ld() * sizeof(float);
+          const auto oh = ctx.dma(
+              core, oreq,
+              fn ? cl.core(core).am().raw(pc[core].ca.offset,
+                                          ma_t * pitch * sizeof(float))
+                 : nullptr,
+              detail::host_dst(in.c, t0, p.i0 + ii, fn));
+          tl.dma_wait(oh);
+        }
+      }
+    }
+  }
+
+  return ctx.finish(in, Strategy::ParallelM);
+}
+
+}  // namespace ftm::core

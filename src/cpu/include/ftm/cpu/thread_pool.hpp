@@ -1,0 +1,52 @@
+// Minimal fork-join thread pool for the host CPU baseline. Workers are
+// created once and reused; parallel_for partitions an index range into
+// contiguous chunks (one per worker) — the standard data-parallel scheme
+// for dense linear algebra where tasks are uniform.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ftm::cpu {
+
+class ThreadPool {
+ public:
+  /// `threads` == 0 selects the hardware concurrency.
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()) + 1; }
+
+  /// Runs fn(begin, end, worker_index) over [0, n) split into size() chunks
+  /// (the calling thread takes chunk 0). Blocks until every chunk is done.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t, std::size_t,
+                                             unsigned)>& fn);
+
+ private:
+  void worker_loop(unsigned index);
+
+  struct Job {
+    std::size_t n = 0;
+    const std::function<void(std::size_t, std::size_t, unsigned)>* fn = nullptr;
+    std::uint64_t epoch = 0;
+  };
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  Job job_;
+  std::uint64_t epoch_ = 0;
+  unsigned pending_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace ftm::cpu

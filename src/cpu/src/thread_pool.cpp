@@ -1,0 +1,78 @@
+#include "ftm/cpu/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace ftm::cpu {
+
+namespace {
+std::pair<std::size_t, std::size_t> chunk(std::size_t n, unsigned parts,
+                                          unsigned index) {
+  const std::size_t base = n / parts;
+  const std::size_t rem = n % parts;
+  const std::size_t begin =
+      index * base + std::min<std::size_t>(index, rem);
+  const std::size_t len = base + (index < rem ? 1 : 0);
+  return {begin, begin + len};
+}
+}  // namespace
+
+ThreadPool::ThreadPool(unsigned threads) {
+  unsigned n = threads != 0 ? threads : std::thread::hardware_concurrency();
+  if (n == 0) n = 1;
+  for (unsigned i = 1; i < n; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::parallel_for(
+    std::size_t n,
+    const std::function<void(std::size_t, std::size_t, unsigned)>& fn) {
+  const unsigned parts = size();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_.n = n;
+    job_.fn = &fn;
+    ++epoch_;
+    job_.epoch = epoch_;
+    pending_ = parts - 1;
+  }
+  cv_start_.notify_all();
+  const auto [b0, e0] = chunk(n, parts, 0);
+  if (b0 < e0) fn(b0, e0, 0);
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_done_.wait(lock, [this] { return pending_ == 0; });
+}
+
+void ThreadPool::worker_loop(unsigned index) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(std::size_t, std::size_t, unsigned)>* fn;
+    std::size_t n;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_start_.wait(lock, [&] { return stop_ || job_.epoch > seen; });
+      if (stop_) return;
+      seen = job_.epoch;
+      fn = job_.fn;
+      n = job_.n;
+    }
+    const auto [b, e] = chunk(n, size(), index);
+    if (b < e) (*fn)(b, e, index);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --pending_;
+    }
+    cv_done_.notify_all();
+  }
+}
+
+}  // namespace ftm::cpu

@@ -1,0 +1,90 @@
+// Machine description of one FT-m7032 GPDSP cluster, with every constant the
+// paper publishes (Section II) plus the instruction latencies the scheduling
+// discussion implies (t_fma, t_VLDW, t_SBR). Constants the paper does not
+// give (GSM crossbar bandwidth, DMA startup cost) are explicit, documented
+// assumptions here so they can be varied in ablation benchmarks.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ftm::isa {
+
+struct MachineConfig {
+  // --- Core compute (paper §II) ---
+  double freq_ghz = 1.8;          ///< DSP core clock.
+  int vpe_count = 16;             ///< Vector processing elements per core.
+  int fp32_lanes = 32;            ///< SIMD width for FP32 (16 VPEs x 2 lanes).
+  int vector_fmac_units = 3;      ///< FMAC units per VPE (and issue slots).
+  int vector_regs = 64;           ///< Architectural vector registers.
+  int scalar_regs = 64;           ///< Architectural scalar registers.
+
+  // --- Issue width (paper §II: up to 11 instructions/cycle) ---
+  int scalar_slots = 5;
+  int vector_slots = 6;
+
+  // --- On-chip memories (paper §II) ---
+  std::size_t sm_bytes = 64 * 1024;        ///< Scalar Memory per core.
+  std::size_t am_bytes = 768 * 1024;       ///< Array Memory per core.
+  std::size_t gsm_bytes = 6 * 1024 * 1024; ///< Global Shared Memory / cluster.
+
+  // --- Bandwidths ---
+  /// AM -> vector registers: 512 bytes/cycle via two vector load/store
+  /// units (paper §II). Expressed per unit: 256 B/cycle each.
+  std::size_t am_bytes_per_cycle = 512;
+  /// SPU -> VPU broadcast: at most two FP32 scalars per cycle (paper §IV-A1).
+  int broadcast_fp32_per_cycle = 2;
+  /// DDR bandwidth for one cluster (paper §II: 42.6 GB/s).
+  double ddr_bytes_per_sec = 42.6e9;
+  /// GSM crossbar DMA bandwidth per core. ASSUMPTION: the paper gives no
+  /// figure; on-chip SRAM over a crossbar is far faster than DDR. We use
+  /// 64 B/cycle/core (~115 GB/s at 1.8 GHz) with an aggregate cap below.
+  std::size_t gsm_bytes_per_cycle_per_core = 64;
+  /// Aggregate GSM crossbar cap across all cores. ASSUMPTION: 256 B/cycle.
+  std::size_t gsm_bytes_per_cycle_total = 256;
+  /// DMA engine startup latency per transfer, cycles. ASSUMPTION: a few
+  /// hundred cycles matches published DMA engines of this class [23].
+  std::uint64_t dma_startup_cycles = 256;
+
+  // --- Instruction latencies (cycles until result usable) ---
+  int lat_vfmac = 6;    ///< t_fma: the paper keys m_u/k_u selection off this.
+  int lat_vldw = 4;     ///< t_VLDW: vector load (VLDW/VLDDW).
+  int lat_vstw = 1;     ///< store commits next cycle for dependence purposes.
+  int lat_sldw = 3;     ///< scalar load from SM.
+  int lat_sfext = 1;    ///< scalar extract/move.
+  int lat_sbale = 1;    ///< scalar pack (SIEU).
+  int lat_bcast = 2;    ///< SPU->VPU broadcast.
+  int lat_smovi = 1;
+  int lat_saddi = 1;
+  int lat_sbr = 3;      ///< t_SBR: branch resolves after 2 delay-slot bundles.
+
+  // --- Cluster ---
+  int cores_per_cluster = 8;
+
+  /// FP32 flops of one VFMULAS32 (32 lanes x multiply-add).
+  int flops_per_vfmac() const { return fp32_lanes * 2; }
+  /// Peak flops/cycle of one core (3 FMAC issue slots x 64 flops).
+  int peak_flops_per_cycle() const {
+    return vector_fmac_units * flops_per_vfmac();
+  }
+  /// Peak GFlops of one DSP core (345.6 in the paper).
+  double core_peak_gflops() const {
+    return freq_ghz * peak_flops_per_cycle();
+  }
+  /// Peak GFlops of the 8-core cluster (2764.8 in the paper).
+  double cluster_peak_gflops() const {
+    return core_peak_gflops() * cores_per_cluster;
+  }
+  /// DDR bytes per core-cycle (for converting DMA costs into cycles).
+  double ddr_bytes_per_cycle() const {
+    return ddr_bytes_per_sec / (freq_ghz * 1e9);
+  }
+};
+
+/// The default machine is the FT-m7032 GPDSP cluster as published.
+inline const MachineConfig& default_machine() {
+  static const MachineConfig cfg{};
+  return cfg;
+}
+
+}  // namespace ftm::isa

@@ -1,0 +1,47 @@
+// Assembly micro-kernel generator (paper §IV-A).
+//
+// Generates a complete VLIW Program computing
+//     C_a[ms][na] (+)= A_s[ms][ka] * B_a[ka][na]
+// with A_s row-major in SM (pitch ka floats) and B_a/C_a in AM with rows
+// padded to vn*32 floats. The structure per m_u-row tile is:
+//
+//   prologue   load C into accumulator bank 0 (or zero), zero banks 1..ku-1,
+//              prefetch iteration 0's A broadcasts and B vectors (parity 0)
+//   loop body  two software-pipelined iterations (parities 0/1): compute
+//              iteration i from parity-p registers while prefetching
+//              iteration i+1 into parity 1-p; pointers advance; SBR loops
+//              with its branch-delay slots inside the body
+//   peel       one unrolled iteration when the pipelined count is odd
+//   epilogue   final iteration (no prefetch), remainder k-steps when
+//              ka % ku != 0, the k_u reduction (Algorithm 3 lines 12-13),
+//              and the C_a writeback
+//
+// Calling convention: the caller sets S0 = A_s byte base (SM), S1 = B_a
+// byte base (AM), S2 = C_a byte base (AM) before DspCore::run.
+#pragma once
+
+#include "ftm/isa/isa.hpp"
+#include "ftm/kernelgen/spec.hpp"
+
+namespace ftm::kernelgen {
+
+/// Scalar registers of the kernel calling convention.
+enum KernelAbi : int {
+  kRegABase = 0,   ///< S0: A_s base byte offset in SM (caller-set).
+  kRegBBase = 1,   ///< S1: B_a base byte offset in AM (caller-set).
+  kRegCBase = 2,   ///< S2: C_a base byte offset in AM (caller-set).
+  kRegCounter = 3, ///< S3: loop trip counter (kernel-managed).
+  kRegAPtr = 4,    ///< S4: moving A pointer (kernel-managed).
+  kRegBPtr = 5,    ///< S5: moving B pointer (kernel-managed).
+};
+
+/// Generates the scheduled program for `spec` with tiling `t`.
+/// Validates structural constraints before returning.
+isa::Program generate_microkernel(const KernelSpec& spec, const Tiling& t,
+                                  const isa::MachineConfig& mc);
+
+/// Convenience: choose_tiling + generate.
+isa::Program generate_microkernel(const KernelSpec& spec,
+                                  const isa::MachineConfig& mc);
+
+}  // namespace ftm::kernelgen

@@ -1,0 +1,46 @@
+// Dependence-aware VLIW list scheduler.
+//
+// The generator emits each kernel section (prologue, loop body, peel,
+// epilogue) as a flat instruction sequence in program order; the scheduler
+// packs it into bundles honouring
+//   - RAW edges with full producer latency,
+//   - WAR/WAW edges with a one-cycle gap (the core model executes a
+//     bundle's ops in order, so same-cycle read/write of one register is
+//     disallowed outright), and
+//   - structural constraints (each functional unit once per cycle, with
+//     units assigned from the opcode's admissible set).
+//
+// Dependences are inferred from architectural register numbers, which is
+// sufficient because kernel sections never overlap loads and stores of the
+// same scratchpad region.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "ftm/isa/isa.hpp"
+#include "ftm/isa/machine.hpp"
+
+namespace ftm::kernelgen {
+
+struct ScheduleStats {
+  int cycles = 0;      ///< Bundles in the scheduled section.
+  int ops = 0;         ///< Instructions scheduled.
+  int critical_path = 0;
+};
+
+/// Schedules `ops` (program order) into bundles. SBR must not appear in the
+/// input; loop branches are inserted by the generator afterwards.
+std::vector<isa::Bundle> schedule_section(std::span<const isa::Instr> ops,
+                                          const isa::MachineConfig& mc,
+                                          ScheduleStats* stats = nullptr);
+
+/// Registers read / written by an instruction, in a unified id space:
+/// scalar r -> r, vector v -> 64 + v. Exposed for tests.
+struct OpEffects {
+  std::vector<int> reads;
+  std::vector<int> writes;
+};
+OpEffects op_effects(const isa::Instr& in);
+
+}  // namespace ftm::kernelgen

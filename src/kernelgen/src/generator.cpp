@@ -1,0 +1,417 @@
+#include "ftm/kernelgen/generator.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "ftm/kernelgen/scheduler.hpp"
+
+namespace ftm::kernelgen {
+
+using isa::Instr;
+using isa::Opcode;
+
+namespace {
+
+/// Register-map and emission helpers shared by all sections of one kernel.
+struct Gen {
+  const KernelSpec& spec;
+  const Tiling& t;
+  const isa::MachineConfig& mc;
+  int vn;
+  int ldbb;  ///< B_a/C_a row pitch in bytes (vn * 128).
+  int elem;  ///< element size in bytes (4 for F32, 8 for F64)
+  bool f64;
+
+  Gen(const KernelSpec& s, const Tiling& tl, const isa::MachineConfig& m)
+      : spec(s),
+        t(tl),
+        mc(m),
+        vn(s.vn()),
+        ldbb(s.am_row_bytes()),
+        elem(static_cast<int>(s.elem_bytes())),
+        f64(s.dtype == DType::F64) {
+    FTM_EXPECTS(vector_regs_needed(tl, vn) <= m.vector_regs);
+  }
+
+  // --- Vector register map -------------------------------------------------
+  // [0, nacc)                       accumulators Vc[ku][mu][vn]
+  // [nacc, nacc + 2*ku*vn)          B vectors, two parities
+  // [.., .. + 2*mu*ku)              A broadcast vectors, two parities
+  int nacc() const { return t.mu * t.ku * vn; }
+  int acc(int m, int kui, int nn) const {
+    FTM_EXPECTS(m < t.mu && kui < t.ku && nn < vn);
+    return (kui * t.mu + m) * vn + nn;
+  }
+  int vb_flat(int p, int i) const {
+    FTM_EXPECTS(p < 2 && i < t.ku * vn);
+    return nacc() + p * (t.ku * vn) + i;
+  }
+  int vb(int p, int kui, int nn) const { return vb_flat(p, kui * vn + nn); }
+  int va(int p, int m, int kui) const {
+    FTM_EXPECTS(p < 2 && m < t.mu && kui < t.ku);
+    return nacc() + 2 * t.ku * vn + p * (t.mu * t.ku) + m * t.ku + kui;
+  }
+
+  // --- Scalar temp map: 24 per parity starting at S16 ---------------------
+  int stmp(int p, int j) const {
+    FTM_EXPECTS(j < 24);
+    return 16 + p * 24 + j;
+  }
+
+  // --- Emission helpers ----------------------------------------------------
+
+  /// A-side loads + broadcasts for one iteration into parity `p`.
+  /// `areg` is the base register; `row_bytes(r)` must give the byte offset
+  /// of row r's k=0 element relative to `areg`; `k_off` is the iteration's
+  /// first k relative to `areg`'s k origin. `mu_t` limits rows for tail
+  /// tiles.
+  void emit_a_side(std::vector<Instr>& out, int p, int areg, int row0_bytes,
+                   int row_pitch_bytes, int k_off, int mu_t) const {
+    const int ku = t.ku;
+    if (f64) {
+      // FP64: one SLDDW (8 bytes = one double) and one SVBCASTD per
+      // (row, k) — the broadcast path carries a single FP64 scalar/cycle.
+      for (int r = 0; r < mu_t; ++r) {
+        const int base = row0_bytes + r * row_pitch_bytes + k_off * elem;
+        for (int kui = 0; kui < ku; ++kui) {
+          out.push_back(isa::make_slddw(
+              static_cast<std::uint8_t>(stmp(p, r * ku + kui)),
+              static_cast<std::uint8_t>(areg), base + kui * elem));
+        }
+      }
+      for (int r = 0; r < mu_t; ++r) {
+        for (int kui = 0; kui < ku; ++kui) {
+          out.push_back(isa::make_svbcastd(
+              static_cast<std::uint8_t>(va(p, r, kui)),
+              static_cast<std::uint8_t>(stmp(p, r * ku + kui))));
+        }
+      }
+      return;
+    }
+    // Loads first (program order = scheduling priority).
+    for (int r = 0; r < mu_t; ++r) {
+      const int base = row0_bytes + r * row_pitch_bytes + k_off * 4;
+      int j = 0;
+      for (int q = 0; q + 1 < ku; q += 2) {
+        out.push_back(isa::make_slddw(
+            static_cast<std::uint8_t>(stmp(p, slot(r, j))),
+            static_cast<std::uint8_t>(areg), base + q * 4));
+        ++j;
+      }
+      if (ku % 2 == 1) {
+        out.push_back(isa::make_sldw(
+            static_cast<std::uint8_t>(stmp(p, slot(r, j))),
+            static_cast<std::uint8_t>(areg), base + (ku - 1) * 4));
+      }
+    }
+    // Extract stage for the single-scalar chain (Table I fidelity): only
+    // the trailing odd k uses SLDW -> SFEXTS32L -> SVBCAST.
+    if (ku % 2 == 1) {
+      const int j_single = ku / 2;  // index of the SLDW temp per row
+      for (int r = 0; r < mu_t; ++r) {
+        out.push_back(isa::make_sfexts32l(
+            static_cast<std::uint8_t>(stmp(p, slot(r, j_single) + 12)),
+            static_cast<std::uint8_t>(stmp(p, slot(r, j_single)))));
+      }
+    }
+    // Broadcasts.
+    for (int r = 0; r < mu_t; ++r) {
+      int j = 0;
+      for (int q = 0; q + 1 < ku; q += 2) {
+        out.push_back(isa::make_svbcast2(
+            static_cast<std::uint8_t>(va(p, r, q)),
+            static_cast<std::uint8_t>(stmp(p, slot(r, j)))));
+        ++j;
+      }
+      if (ku % 2 == 1) {
+        out.push_back(isa::make_svbcast(
+            static_cast<std::uint8_t>(va(p, r, ku - 1)),
+            static_cast<std::uint8_t>(stmp(p, slot(r, j) + 12))));
+      }
+    }
+  }
+
+  /// Scalar-temp slot for row r, load index j. Load temps live in [0, 12),
+  /// extract temps in [12, 24).
+  int slot(int r, int j) const {
+    const int loads_per_row = (t.ku + 1) / 2;
+    const int s = r * loads_per_row + j;
+    FTM_EXPECTS(s < 12);
+    return s;
+  }
+
+  /// B-side loads for one iteration into parity `p`. The ku*vn vectors of
+  /// one iteration are contiguous in AM (row pitch == vn*128 bytes), so
+  /// they pair into VLDDWs.
+  void emit_b_side(std::vector<Instr>& out, int p, int breg,
+                   int k_off) const {
+    const int kb = t.ku * vn;
+    const int base = k_off * ldbb;
+    int i = 0;
+    for (; i + 1 < kb; i += 2) {
+      out.push_back(isa::make_vlddw(static_cast<std::uint8_t>(vb_flat(p, i)),
+                                    static_cast<std::uint8_t>(breg),
+                                    base + i * 128));
+    }
+    if (i < kb) {
+      out.push_back(isa::make_vldw(static_cast<std::uint8_t>(vb_flat(p, i)),
+                                   static_cast<std::uint8_t>(breg),
+                                   base + i * 128));
+    }
+  }
+
+  /// The mu_t * ku * vn fused multiply-adds of one iteration (parity p).
+  void emit_compute(std::vector<Instr>& out, int p, int mu_t) const {
+    for (int r = 0; r < mu_t; ++r) {
+      for (int kui = 0; kui < t.ku; ++kui) {
+        for (int nn = 0; nn < vn; ++nn) {
+          out.push_back(
+              f64 ? isa::make_vfmulad64(
+                        static_cast<std::uint8_t>(acc(r, kui, nn)),
+                        static_cast<std::uint8_t>(va(p, r, kui)),
+                        static_cast<std::uint8_t>(vb(p, kui, nn)))
+                  : isa::make_vfmulas32(
+                        static_cast<std::uint8_t>(acc(r, kui, nn)),
+                        static_cast<std::uint8_t>(va(p, r, kui)),
+                        static_cast<std::uint8_t>(vb(p, kui, nn))));
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+isa::Program generate_microkernel(const KernelSpec& spec, const Tiling& t,
+                                  const isa::MachineConfig& mc) {
+  const Gen g(spec, t, mc);
+  const int vn = g.vn;
+  const int ku = t.ku;
+  const int nk = spec.ka / ku;          // full k-iterations
+  const int krem = spec.ka - nk * ku;   // remainder k-steps
+  FTM_EXPECTS(nk >= 1);
+  const int nb = nk - 1;                // pipelined (prefetching) iterations
+  // Unroll depth of the steady-state loop body. The list scheduler reaches
+  // the modulo steady state across unrolled iterations, so deeper unrolling
+  // amortizes the pipeline fill at the section boundary; ~120 cycles of
+  // work per trip keeps that overhead a few percent. Must be even so the
+  // ping/pong register parity matches across trips.
+  int unroll = (240 / std::max(t.ii, 1) + 1) & ~1;
+  unroll = std::clamp(unroll, 2, 40);
+  if (unroll > nb) unroll = 0;          // too little work: tail-only
+  const int trips = unroll > 0 ? nb / unroll : 0;
+  const int tail = nb - trips * std::max(unroll, 1);  // pipelined leftovers
+  const int pe = (nk - 1) % 2;          // parity of the final iteration
+
+  isa::Program prog;
+  {
+    std::ostringstream nm;
+    nm << "uk_" << to_string(spec.dtype) << "_ms" << spec.ms << "_ka"
+       << spec.ka << "_na" << spec.na << "_mu" << t.mu << "_ku" << ku
+       << (spec.load_c ? "" : "_nz");
+    prog.name = nm.str();
+  }
+
+  struct PendingBranch {
+    std::size_t body_begin;
+    std::size_t body_end;  // exclusive
+  };
+  std::vector<PendingBranch> branches;
+
+  auto append = [&prog](std::vector<isa::Bundle> bs) {
+    for (auto& b : bs) prog.bundles.push_back(std::move(b));
+  };
+
+  for (int mm = 0; mm < spec.ms; mm += t.mu) {
+    const int mu_t = std::min(t.mu, spec.ms - mm);
+    const int c_row0 = mm * g.ldbb;
+
+    // ---- Prologue ----
+    std::vector<Instr> pro;
+    // Accumulator init: bank 0 from C (or zero), banks 1.. zero.
+    {
+      const int nv = mu_t * vn;  // contiguous C vectors for this tile
+      if (spec.load_c) {
+        int i = 0;
+        for (; i + 1 < nv; i += 2) {
+          pro.push_back(isa::make_vlddw(
+              static_cast<std::uint8_t>(g.acc(i / vn, 0, i % vn)),
+              kRegCBase, c_row0 + i * 128));
+        }
+        if (i < nv) {
+          pro.push_back(isa::make_vldw(
+              static_cast<std::uint8_t>(g.acc(i / vn, 0, i % vn)),
+              kRegCBase, c_row0 + i * 128));
+        }
+      } else {
+        for (int i = 0; i < nv; ++i) {
+          pro.push_back(isa::make_vmovi(
+              static_cast<std::uint8_t>(g.acc(i / vn, 0, i % vn)), 0.0f));
+        }
+      }
+      for (int kui = 1; kui < ku; ++kui) {
+        for (int r = 0; r < mu_t; ++r) {
+          for (int nn = 0; nn < vn; ++nn) {
+            pro.push_back(isa::make_vmovi(
+                static_cast<std::uint8_t>(g.acc(r, kui, nn)), 0.0f));
+          }
+        }
+      }
+    }
+    // Moving pointers and trip counter.
+    pro.push_back(
+        isa::make_saddi(kRegAPtr, kRegABase, mm * spec.ka * g.elem));
+    pro.push_back(isa::make_saddi(kRegBPtr, kRegBBase, 0));
+    if (trips > 0) pro.push_back(isa::make_smovi(kRegCounter, trips));
+    // Prefetch iteration 0 (parity 0), absolute addressing off the bases.
+    g.emit_a_side(pro, /*p=*/0, kRegABase, mm * spec.ka * g.elem,
+                  spec.ka * g.elem,
+                  /*k_off=*/0, mu_t);
+    g.emit_b_side(pro, /*p=*/0, kRegBBase, /*k_off=*/0);
+    append(schedule_section(pro, mc));
+
+    // ---- Loop body: `unroll` pipelined iterations ----
+    if (trips > 0) {
+      std::vector<Instr> body;
+      for (int u = 0; u < unroll; ++u) {
+        const int p = u % 2;
+        g.emit_compute(body, p, mu_t);
+        g.emit_a_side(body, 1 - p, kRegAPtr, 0, spec.ka * g.elem,
+                      (u + 1) * ku, mu_t);
+        g.emit_b_side(body, 1 - p, kRegBPtr, (u + 1) * ku);
+      }
+      body.push_back(
+          isa::make_saddi(kRegAPtr, kRegAPtr, unroll * ku * g.elem));
+      body.push_back(
+          isa::make_saddi(kRegBPtr, kRegBPtr, unroll * ku * g.ldbb));
+
+      auto bs = schedule_section(body, mc);
+      // The branch needs lat_sbr-1 delay-slot bundles after it inside the
+      // body; pad short bodies so the slot exists.
+      const int min_len = mc.lat_sbr;
+      while (static_cast<int>(bs.size()) < min_len) bs.emplace_back();
+      const std::size_t begin = prog.bundles.size();
+      append(std::move(bs));
+      branches.push_back({begin, prog.bundles.size()});
+    }
+
+    // ---- Tail: leftover pipelined iterations, one scheduled section ----
+    if (tail > 0) {
+      std::vector<Instr> pl;
+      for (int j = 0; j < tail; ++j) {
+        const int p = j % 2;
+        g.emit_compute(pl, p, mu_t);
+        g.emit_a_side(pl, 1 - p, kRegAPtr, 0, spec.ka * g.elem,
+                      (j + 1) * ku, mu_t);
+        g.emit_b_side(pl, 1 - p, kRegBPtr, (j + 1) * ku);
+      }
+      append(schedule_section(pl, mc));
+    }
+
+    // ---- Epilogue ----
+    std::vector<Instr> epi;
+    g.emit_compute(epi, pe, mu_t);
+    if (krem > 0) {
+      // Remainder k-steps, straight-line, absolute addressing. Reuses the
+      // dead parity-(1-pe) registers and accumulator bank j for step j.
+      const int kstart = nk * ku;
+      const int pr = 1 - pe;
+      for (int j = 0; j < krem; ++j) {
+        for (int r = 0; r < mu_t; ++r) {
+          const int a_off =
+              (mm + r) * spec.ka * g.elem + (kstart + j) * g.elem;
+          if (g.f64) {
+            epi.push_back(isa::make_slddw(
+                static_cast<std::uint8_t>(g.stmp(pr, 0)), kRegABase,
+                a_off));
+            epi.push_back(isa::make_svbcastd(
+                static_cast<std::uint8_t>(g.va(pr, r, 0)),
+                static_cast<std::uint8_t>(g.stmp(pr, 0))));
+          } else {
+            epi.push_back(isa::make_sldw(
+                static_cast<std::uint8_t>(g.stmp(pr, g.slot(r, 0))),
+                kRegABase, a_off));
+            epi.push_back(isa::make_sfexts32l(
+                static_cast<std::uint8_t>(g.stmp(pr, g.slot(r, 0) + 12)),
+                static_cast<std::uint8_t>(g.stmp(pr, g.slot(r, 0)))));
+            epi.push_back(isa::make_svbcast(
+                static_cast<std::uint8_t>(g.va(pr, r, 0)),
+                static_cast<std::uint8_t>(g.stmp(pr, g.slot(r, 0) + 12))));
+          }
+        }
+        for (int nn = 0; nn < vn; ++nn) {
+          epi.push_back(isa::make_vldw(
+              static_cast<std::uint8_t>(g.vb(pr, 0, nn)), kRegBBase,
+              (kstart + j) * g.ldbb + nn * 128));
+        }
+        for (int r = 0; r < mu_t; ++r) {
+          for (int nn = 0; nn < vn; ++nn) {
+            epi.push_back(
+                g.f64 ? isa::make_vfmulad64(
+                            static_cast<std::uint8_t>(g.acc(r, j % ku, nn)),
+                            static_cast<std::uint8_t>(g.va(pr, r, 0)),
+                            static_cast<std::uint8_t>(g.vb(pr, 0, nn)))
+                      : isa::make_vfmulas32(
+                            static_cast<std::uint8_t>(g.acc(r, j % ku, nn)),
+                            static_cast<std::uint8_t>(g.va(pr, r, 0)),
+                            static_cast<std::uint8_t>(g.vb(pr, 0, nn))));
+          }
+        }
+      }
+    }
+    // k_u reduction (Algorithm 3 lines 12-13).
+    for (int kui = 1; kui < ku; ++kui) {
+      for (int r = 0; r < mu_t; ++r) {
+        for (int nn = 0; nn < vn; ++nn) {
+          epi.push_back(
+              g.f64 ? isa::make_vaddd64(
+                          static_cast<std::uint8_t>(g.acc(r, 0, nn)),
+                          static_cast<std::uint8_t>(g.acc(r, 0, nn)),
+                          static_cast<std::uint8_t>(g.acc(r, kui, nn)))
+                    : isa::make_vadds32(
+                          static_cast<std::uint8_t>(g.acc(r, 0, nn)),
+                          static_cast<std::uint8_t>(g.acc(r, 0, nn)),
+                          static_cast<std::uint8_t>(g.acc(r, kui, nn))));
+        }
+      }
+    }
+    // C_a writeback (bank 0 is a contiguous register/AM range).
+    {
+      const int nv = mu_t * vn;
+      int i = 0;
+      for (; i + 1 < nv; i += 2) {
+        epi.push_back(isa::make_vstdw(
+            static_cast<std::uint8_t>(g.acc(i / vn, 0, i % vn)), kRegCBase,
+            c_row0 + i * 128));
+      }
+      if (i < nv) {
+        epi.push_back(isa::make_vstw(
+            static_cast<std::uint8_t>(g.acc(i / vn, 0, i % vn)), kRegCBase,
+            c_row0 + i * 128));
+      }
+    }
+    append(schedule_section(epi, mc));
+  }
+
+  // Insert loop branches now that absolute bundle indices are known. The
+  // SBR issues lat_sbr-1 bundles before the body's end so the delay slots
+  // stay inside the body (Table I's SBR placement).
+  for (const PendingBranch& br : branches) {
+    const std::size_t pos = br.body_end - static_cast<std::size_t>(mc.lat_sbr);
+    FTM_ASSERT(pos >= br.body_begin);
+    prog.bundles[pos].ops.push_back(
+        isa::make_sbr(kRegCounter, static_cast<std::int32_t>(br.body_begin)));
+    prog.bundles[pos].ops.back().unit = isa::Unit::CU;
+  }
+
+  prog.validate();
+  return prog;
+}
+
+isa::Program generate_microkernel(const KernelSpec& spec,
+                                  const isa::MachineConfig& mc) {
+  return generate_microkernel(spec, choose_tiling(spec, mc), mc);
+}
+
+}  // namespace ftm::kernelgen

@@ -1,0 +1,171 @@
+#include "ftm/kernelgen/microkernel.hpp"
+
+#include <cmath>
+#include <vector>
+
+namespace ftm::kernelgen {
+
+MicroKernel::MicroKernel(const KernelSpec& spec, const isa::MachineConfig& mc)
+    : spec_(spec),
+      mc_(mc),
+      tiling_(choose_tiling(spec, mc)),
+      prog_(generate_microkernel(spec, tiling_, mc)) {
+  // One-time calibration on a scratch core. Cycle count is shape-dependent
+  // only, so dummy (zero) operand data is sufficient.
+  sim::DspCore core(mc);
+  const sim::Region a = core.sm().alloc(spec.a_bytes());
+  const sim::Region b = core.am().alloc(spec.b_bytes());
+  const sim::Region c = core.am().alloc(spec.c_bytes());
+  calib_ = run_detailed(core, a.offset, b.offset, c.offset);
+}
+
+double MicroKernel::efficiency() const {
+  if (calib_.cycles == 0) return 0.0;
+  const double useful = spec_.flops();
+  // FP64 halves the per-FMAC flop count (16 lanes instead of 32).
+  const double peak_per_cycle =
+      spec_.dtype == DType::F32
+          ? static_cast<double>(mc_.peak_flops_per_cycle())
+          : static_cast<double>(mc_.peak_flops_per_cycle()) / 2.0;
+  return useful / (static_cast<double>(calib_.cycles) * peak_per_cycle);
+}
+
+sim::ExecResult MicroKernel::run_detailed(sim::DspCore& core,
+                                          std::size_t a_off,
+                                          std::size_t b_off,
+                                          std::size_t c_off) const {
+  core.sregs().v[kRegABase] = a_off;
+  core.sregs().v[kRegBBase] = b_off;
+  core.sregs().v[kRegCBase] = c_off;
+  return core.run(prog_);
+}
+
+std::uint64_t MicroKernel::run_fast(const float* a, const float* b,
+                                    float* c) const {
+  FTM_EXPECTS(spec_.dtype == DType::F32);
+  const int ms = spec_.ms;
+  const int ka = spec_.ka;
+  const int vn = spec_.vn();
+  const int ld = spec_.am_row_elems();
+  const int ku = tiling_.ku;
+  const int mu = tiling_.mu;
+  const int nk = ka / ku;
+  const int krem = ka - nk * ku;
+
+  // Accumulator banks mirror the generated code: bank `kui` accumulates
+  // k = i*ku + kui, remainder step j lands in bank j % ku, and banks are
+  // reduced into bank 0 in ascending order — making this path bit-identical
+  // to the detailed simulation (both use fmaf).
+  std::vector<float> banks(static_cast<std::size_t>(ku) * ld);
+  for (int mm = 0; mm < ms; mm += mu) {
+    const int mu_t = std::min(mu, ms - mm);
+    for (int r = 0; r < mu_t; ++r) {
+      const int row = mm + r;
+      float* bank0 = banks.data();
+      if (spec_.load_c) {
+        for (int x = 0; x < ld; ++x) bank0[x] = c[row * ld + x];
+      } else {
+        for (int x = 0; x < ld; ++x) bank0[x] = 0.0f;
+      }
+      for (int kui = 1; kui < ku; ++kui) {
+        float* bk = banks.data() + kui * ld;
+        for (int x = 0; x < ld; ++x) bk[x] = 0.0f;
+      }
+      const float* arow = a + static_cast<std::size_t>(row) * ka;
+      for (int i = 0; i < nk; ++i) {
+        for (int kui = 0; kui < ku; ++kui) {
+          const int k = i * ku + kui;
+          const float av = arow[k];
+          const float* brow = b + static_cast<std::size_t>(k) * ld;
+          float* bk = banks.data() + kui * ld;
+          for (int x = 0; x < vn * 32; ++x) bk[x] = std::fmaf(av, brow[x], bk[x]);
+        }
+      }
+      for (int j = 0; j < krem; ++j) {
+        const int k = nk * ku + j;
+        const float av = arow[k];
+        const float* brow = b + static_cast<std::size_t>(k) * ld;
+        float* bk = banks.data() + (j % ku) * ld;
+        for (int x = 0; x < vn * 32; ++x) bk[x] = std::fmaf(av, brow[x], bk[x]);
+      }
+      for (int kui = 1; kui < ku; ++kui) {
+        const float* bk = banks.data() + kui * ld;
+        for (int x = 0; x < ld; ++x) bank0[x] += bk[x];
+      }
+      for (int x = 0; x < ld; ++x) c[row * ld + x] = bank0[x];
+    }
+  }
+  return calib_.cycles;
+}
+
+std::uint64_t MicroKernel::run_fast_f64(const double* a, const double* b,
+                                        double* c) const {
+  FTM_EXPECTS(spec_.dtype == DType::F64);
+  const int ms = spec_.ms;
+  const int ka = spec_.ka;
+  const int ld = spec_.am_row_elems();  // vn * 16 doubles
+  const int ku = tiling_.ku;
+  const int mu = tiling_.mu;
+  const int nk = ka / ku;
+  const int krem = ka - nk * ku;
+
+  std::vector<double> banks(static_cast<std::size_t>(ku) * ld);
+  for (int mm = 0; mm < ms; mm += mu) {
+    const int mu_t = std::min(mu, ms - mm);
+    for (int r = 0; r < mu_t; ++r) {
+      const int row = mm + r;
+      double* bank0 = banks.data();
+      if (spec_.load_c) {
+        for (int x = 0; x < ld; ++x) bank0[x] = c[row * ld + x];
+      } else {
+        for (int x = 0; x < ld; ++x) bank0[x] = 0.0;
+      }
+      for (int kui = 1; kui < ku; ++kui) {
+        double* bk = banks.data() + kui * ld;
+        for (int x = 0; x < ld; ++x) bk[x] = 0.0;
+      }
+      const double* arow = a + static_cast<std::size_t>(row) * ka;
+      for (int i = 0; i < nk; ++i) {
+        for (int kui = 0; kui < ku; ++kui) {
+          const int k = i * ku + kui;
+          const double av = arow[k];
+          const double* brow = b + static_cast<std::size_t>(k) * ld;
+          double* bk = banks.data() + kui * ld;
+          for (int x = 0; x < ld; ++x) bk[x] = std::fma(av, brow[x], bk[x]);
+        }
+      }
+      for (int j = 0; j < krem; ++j) {
+        const int k = nk * ku + j;
+        const double av = arow[k];
+        const double* brow = b + static_cast<std::size_t>(k) * ld;
+        double* bk = banks.data() + (j % ku) * ld;
+        for (int x = 0; x < ld; ++x) bk[x] = std::fma(av, brow[x], bk[x]);
+      }
+      for (int kui = 1; kui < ku; ++kui) {
+        const double* bk = banks.data() + kui * ld;
+        for (int x = 0; x < ld; ++x) bank0[x] += bk[x];
+      }
+      for (int x = 0; x < ld; ++x) c[row * ld + x] = bank0[x];
+    }
+  }
+  return calib_.cycles;
+}
+
+KernelCache::KernelCache(const isa::MachineConfig& mc) : mc_(mc) {}
+
+const MicroKernel& KernelCache::get(const KernelSpec& spec) {
+  const Key key{spec.ms, spec.ka, spec.na, spec.load_c,
+                static_cast<int>(spec.dtype)};
+  auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    ++hits_;
+    return *it->second;
+  }
+  ++generated_;
+  auto kernel = std::make_unique<MicroKernel>(spec, mc_);
+  const MicroKernel& ref = *kernel;
+  cache_.emplace(key, std::move(kernel));
+  return ref;
+}
+
+}  // namespace ftm::kernelgen

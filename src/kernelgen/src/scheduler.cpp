@@ -1,0 +1,183 @@
+#include "ftm/kernelgen/scheduler.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace ftm::kernelgen {
+
+using isa::Instr;
+using isa::Opcode;
+using isa::Unit;
+
+OpEffects op_effects(const Instr& in) {
+  OpEffects e;
+  auto rs = [&](int r) { e.reads.push_back(r); };
+  auto rv = [&](int r) { e.reads.push_back(64 + r); };
+  auto ws = [&](int r) { e.writes.push_back(r); };
+  auto wv = [&](int r) { e.writes.push_back(64 + r); };
+  switch (in.op) {
+    case Opcode::SLDW:
+    case Opcode::SLDDW:
+      rs(in.abase);
+      ws(in.dst);
+      break;
+    case Opcode::SMOVI:
+      ws(in.dst);
+      break;
+    case Opcode::SADDI:
+      rs(in.src1);
+      ws(in.dst);
+      break;
+    case Opcode::SFEXTS32L:
+      rs(in.src1);
+      ws(in.dst);
+      break;
+    case Opcode::SBALE2H:
+      rs(in.src1);
+      rs(in.src2);
+      ws(in.dst);
+      break;
+    case Opcode::SVBCAST:
+    case Opcode::SVBCASTD:
+      rs(in.src1);
+      wv(in.dst);
+      break;
+    case Opcode::SVBCAST2:
+      rs(in.src1);
+      wv(in.dst);
+      wv(in.dst + 1);
+      break;
+    case Opcode::VLDW:
+      rs(in.abase);
+      wv(in.dst);
+      break;
+    case Opcode::VLDDW:
+      rs(in.abase);
+      wv(in.dst);
+      wv(in.dst + 1);
+      break;
+    case Opcode::VSTW:
+      rs(in.abase);
+      rv(in.src1);
+      break;
+    case Opcode::VSTDW:
+      rs(in.abase);
+      rv(in.src1);
+      rv(in.src1 + 1);
+      break;
+    case Opcode::VMOVI:
+      wv(in.dst);
+      break;
+    case Opcode::VFMULAS32:
+    case Opcode::VFMULAD64:
+      rv(in.dst);  // accumulator read-modify-write
+      rv(in.src1);
+      rv(in.src2);
+      wv(in.dst);
+      break;
+    case Opcode::VADDS32:
+    case Opcode::VADDD64:
+      rv(in.src1);
+      rv(in.src2);
+      wv(in.dst);
+      break;
+    case Opcode::SBR:
+      rs(in.dst);
+      ws(in.dst);
+      break;
+    case Opcode::NOP:
+      break;
+  }
+  return e;
+}
+
+std::vector<isa::Bundle> schedule_section(std::span<const Instr> ops,
+                                          const isa::MachineConfig& mc,
+                                          ScheduleStats* stats) {
+  // Per-register tracking: issue cycle + readiness of the last writer, and
+  // the latest issue cycle of any reader since that writer.
+  struct RegState {
+    int write_ready = 0;   // cycle from which a reader may issue
+    int write_issue = -1;  // issue cycle of last writer (-1: none)
+    int last_read = -1;    // latest issue cycle of a reader
+  };
+  std::array<RegState, 128> regs{};
+
+  std::vector<std::array<bool, isa::kUnitCount>> busy;
+  auto unit_free = [&](int cycle, Unit u) {
+    if (static_cast<std::size_t>(cycle) >= busy.size()) return true;
+    return !busy[cycle][static_cast<int>(u)];
+  };
+  auto reserve = [&](int cycle, Unit u) {
+    if (static_cast<std::size_t>(cycle) >= busy.size())
+      busy.resize(cycle + 1);
+    busy[cycle][static_cast<int>(u)] = true;
+  };
+
+  std::vector<std::vector<Instr>> placed;  // per-cycle ops
+  auto place = [&](int cycle, const Instr& in) {
+    if (static_cast<std::size_t>(cycle) >= placed.size())
+      placed.resize(cycle + 1);
+    placed[cycle].push_back(in);
+  };
+
+  int critical = 0;
+  for (const Instr& raw : ops) {
+    FTM_EXPECTS(raw.op != Opcode::SBR);
+    const OpEffects eff = op_effects(raw);
+
+    int earliest = 0;
+    for (int r : eff.reads) earliest = std::max(earliest, regs[r].write_ready);
+    for (int w : eff.writes) {
+      // WAR: never issue a write at or before a pending reader's cycle.
+      earliest = std::max(earliest, regs[w].last_read + 1);
+      // WAW: strictly after the previous writer's issue.
+      earliest = std::max(earliest, regs[w].write_issue + 1);
+    }
+
+    // Find the first cycle >= earliest with a free admissible unit.
+    const std::uint32_t units = isa::admissible_units(raw.op);
+    int cycle = earliest;
+    Unit chosen = Unit::CU;
+    for (;; ++cycle) {
+      bool found = false;
+      for (int u = 0; u < isa::kUnitCount; ++u) {
+        if ((units & (1u << u)) == 0) continue;
+        if (unit_free(cycle, static_cast<Unit>(u))) {
+          chosen = static_cast<Unit>(u);
+          found = true;
+          break;
+        }
+      }
+      if (found) break;
+    }
+
+    Instr in = raw;
+    in.unit = chosen;
+    reserve(cycle, chosen);
+    place(cycle, in);
+
+    const int lat = isa::op_latency(in.op, mc);
+    for (int r : eff.reads) regs[r].last_read = std::max(regs[r].last_read, cycle);
+    for (int w : eff.writes) {
+      regs[w].write_issue = cycle;
+      regs[w].write_ready = cycle + lat;
+      regs[w].last_read = -1;
+    }
+    critical = std::max(critical, cycle + lat);
+  }
+
+  std::vector<isa::Bundle> bundles(placed.size());
+  for (std::size_t c = 0; c < placed.size(); ++c) {
+    bundles[c].ops = std::move(placed[c]);
+    bundles[c].validate();
+  }
+  if (stats) {
+    stats->cycles = static_cast<int>(bundles.size());
+    stats->ops = static_cast<int>(ops.size());
+    stats->critical_path = critical;
+  }
+  return bundles;
+}
+
+}  // namespace ftm::kernelgen

@@ -1,0 +1,162 @@
+#include "ftm/kernelgen/spec.hpp"
+
+#include <algorithm>
+
+#include "ftm/util/assert.hpp"
+
+namespace ftm::kernelgen {
+
+namespace {
+int ceil_div(int a, int b) { return (a + b - 1) / b; }
+}  // namespace
+
+const char* to_string(DType t) {
+  switch (t) {
+    case DType::F32: return "f32";
+    case DType::F64: return "f64";
+  }
+  return "?";
+}
+
+Regime regime_for(int na) {
+  FTM_EXPECTS(na >= 1 && na <= 96);
+  if (na > 64) return Regime::Wide;
+  if (na > 32) return Regime::Medium;
+  return Regime::Narrow;
+}
+
+const char* to_string(Regime r) {
+  switch (r) {
+    case Regime::Wide: return "wide";
+    case Regime::Medium: return "medium";
+    case Regime::Narrow: return "narrow";
+  }
+  return "?";
+}
+
+int vector_regs_needed(const Tiling& t, int vn) {
+  // Accumulators Vc[ku][mu][vn] + double-buffered B vectors (2*ku*vn) +
+  // double-buffered A broadcast vectors (2*mu*ku).
+  return t.mu * t.ku * vn + 2 * t.ku * vn + 2 * t.mu * t.ku;
+}
+
+namespace {
+
+/// Largest mu (<= ms) that fits the register budgets for a given ku,
+/// balanced so ms splits into near-equal row tiles (an 11+1 split would
+/// leave the second tile's pipeline almost empty).
+int max_mu(int ms, int ku, int vn, DType dtype,
+           const isa::MachineConfig& mc) {
+  const int vbudget = mc.vector_regs - 2;  // reserve two spares
+  // mu*ku*vn + 2*ku*vn + 2*mu*ku <= vbudget
+  const int denom = ku * vn + 2 * ku;
+  int mu = (vbudget - 2 * ku * vn) / denom;
+  // Scalar temp budget (24 load-temp slots per parity, see generator):
+  // F32 uses load + extract temps (4/row across parities); F64 needs one
+  // SLDDW temp per (row, k) per parity.
+  const int sbudget = mc.scalar_regs - 16;  // bases, counters, spares
+  const int stemps_per_row = dtype == DType::F32 ? 4 : 2 * ku;
+  mu = std::min(mu, sbudget / std::max(1, stemps_per_row));
+  if (dtype == DType::F64) mu = std::min(mu, 12 / std::max(1, ku));
+  mu = std::clamp(mu, 1, ms);
+  const int tiles = (ms + mu - 1) / mu;
+  return (ms + tiles - 1) / tiles;
+}
+
+/// Cycle bounds of one inner block for (mu, ku, vn): the resource-
+/// constrained initiation interval before the t_fma floor.
+int resource_ii(int mu, int ku, int vn, DType dtype,
+                const isa::MachineConfig& mc) {
+  const int fmacs = mu * ku * vn;
+  const int ii_fmac = ceil_div(fmacs, mc.vector_fmac_units);
+  // Broadcast slot (SFMAC2): SVBCAST carries 1 scalar, SVBCAST2 carries 2
+  // (the generator pairs whenever ku is even). One FP64 scalar consumes a
+  // full cycle of the 64-bit broadcast path.
+  const int scalars = mu * ku;
+  const int bcast_ops = (dtype == DType::F32 && ku % 2 == 0)
+                            ? ceil_div(scalars, 2)
+                            : scalars;
+  const int ii_bcast = bcast_ops;  // single broadcast-capable slot
+  // Vector loads: ku*vn B vectors per block, VLDDW pairs on two units.
+  const int vld_ops = ceil_div(ku * vn, 2);
+  const int ii_vld = ceil_div(vld_ops, 2);
+  // Scalar loads: F32 pairs two k's per SLDDW; F64 loads one per SLDDW.
+  const int sld_ops = (dtype == DType::F32 && ku % 2 == 0) ? mu * (ku / 2)
+                                                           : mu * ku;
+  const int ii_sld = ceil_div(sld_ops, 2);
+  return std::max({ii_fmac, ii_bcast, ii_vld, ii_sld, 1});
+}
+
+}  // namespace
+
+Tiling choose_tiling(const KernelSpec& spec, const isa::MachineConfig& mc) {
+  FTM_EXPECTS(spec.ms >= 1 && spec.ms <= 64);
+  FTM_EXPECTS(spec.ka >= 1);
+  FTM_EXPECTS(spec.na >= 1 && spec.na <= 3 * spec.lanes());
+  const int vn = spec.vn();
+  const Regime reg = spec.dtype == DType::F32 ? regime_for(spec.na)
+                                              : Regime::Narrow;
+
+  // Candidate k_u values per §IV-A2: wide kernels with deep pipelines keep
+  // k_u = 1; narrow or short kernels raise k_u to refill the FMAC units.
+  int best_ku = 1;
+  int best_mu = 1;
+  int best_ii = 1 << 20;
+  double best_util = -1.0;
+  for (int ku : {1, 2, 3, 4}) {
+    if (ku > spec.ka) continue;
+    if (reg == Regime::Wide && spec.ms >= mc.lat_vfmac && ku > 1) {
+      continue;  // paper: k_u = 1 when ms >= t_fma and na wide
+    }
+    const int mu = max_mu(spec.ms, ku, vn, spec.dtype, mc);
+    const int rii = resource_ii(mu, ku, vn, spec.dtype, mc);
+    const int ii = std::max(rii, mc.lat_vfmac);
+    const double util = static_cast<double>(mu * ku * vn) /
+                        (static_cast<double>(mc.vector_fmac_units) * ii);
+    // Prefer higher utilisation; tie-break toward smaller ku (fewer
+    // reduction ops and less register pressure).
+    if (util > best_util + 1e-9) {
+      best_util = util;
+      best_ku = ku;
+      best_mu = mu;
+      best_ii = ii;
+    }
+  }
+  FTM_ENSURES(best_util >= 0.0);
+  Tiling t;
+  t.ku = best_ku;
+  t.mu = best_mu;
+  t.ii = best_ii;
+  FTM_ENSURES(vector_regs_needed(t, vn) <= mc.vector_regs);
+  return t;
+}
+
+double upper_bound_utilization(int na, const isa::MachineConfig& mc) {
+  FTM_EXPECTS(na >= 1 && na <= 96);
+  if (na > 32) return 1.0;
+  // Broadcast-bound: one B vector per cycle pairs with one broadcast, so at
+  // most 2 of 3 FMAC units stay busy (paper §IV-A3).
+  return 2.0 / mc.vector_fmac_units;
+}
+
+double predicted_utilization(const KernelSpec& spec, const Tiling& t,
+                             const isa::MachineConfig& mc) {
+  const int vn = spec.vn();
+  const double issue_util = static_cast<double>(t.mu * t.ku * vn) /
+                            (static_cast<double>(mc.vector_fmac_units) * t.ii);
+  // Discount lanes in the last (partial) vector that carry no useful data.
+  const double lane_util = static_cast<double>(spec.na) /
+                           static_cast<double>(vn * spec.lanes());
+  return issue_util * lane_util;
+}
+
+double upper_bound_utilization(const KernelSpec& spec,
+                               const isa::MachineConfig& mc) {
+  if (spec.dtype == DType::F32) return upper_bound_utilization(spec.na, mc);
+  // FP64: one broadcast per cycle pairs with vn vector loads feeding at
+  // most vn of the three FMAC units.
+  const double vn = spec.vn();
+  return std::min(1.0, vn / mc.vector_fmac_units);
+}
+
+}  // namespace ftm::kernelgen

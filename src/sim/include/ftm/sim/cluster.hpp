@@ -1,0 +1,66 @@
+// One GPDSP cluster: 8 DSP cores (each with private SM/AM and a DMA
+// engine/timeline), the 6 MB GSM they share, and the DDR bandwidth-sharing
+// model. Cores are simulated deterministically; cluster execution time is
+// the max over per-core timelines plus any serial phases (e.g. the
+// K-strategy reduction), which the GEMM algorithms account for explicitly.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "ftm/isa/machine.hpp"
+#include "ftm/sim/core.hpp"
+#include "ftm/sim/dma.hpp"
+#include "ftm/sim/scratchpad.hpp"
+
+namespace ftm::sim {
+
+class Cluster {
+ public:
+  explicit Cluster(const isa::MachineConfig& mc = isa::default_machine());
+
+  const isa::MachineConfig& machine() const { return mc_; }
+  int num_cores() const { return static_cast<int>(cores_.size()); }
+
+  DspCore& core(int i);
+  CoreTimeline& timeline(int i);
+  Scratchpad& gsm() { return gsm_; }
+
+  /// Number of cores participating in the current GEMM; used as the DDR
+  /// (and GSM aggregate) bandwidth sharing factor.
+  void set_active_cores(int n);
+  int active_cores() const { return active_cores_; }
+
+  /// When false, DMA helpers skip the actual byte copies and kernels may
+  /// skip math: timing-only mode for huge parameter sweeps. Defaults true.
+  void set_functional(bool f) { functional_ = f; }
+  bool functional() const { return functional_; }
+
+  /// Issue a DMA on core `c`'s engine: charges cycles on its timeline and,
+  /// in functional mode, performs the strided copy src -> dst.
+  DmaHandle dma(int c, const DmaRequest& req, const std::uint8_t* src,
+                std::uint8_t* dst);
+
+  /// Synchronize all active cores' clocks to the latest one (barrier).
+  void barrier();
+
+  /// Latest clock across active cores.
+  std::uint64_t max_time() const;
+
+  /// Clears scratchpads, registers, and timelines for a fresh GEMM call.
+  void reset();
+
+  /// Convert a cluster cycle count to seconds / to achieved GFlops.
+  double cycles_to_seconds(std::uint64_t cycles) const;
+  double gflops(double flops, std::uint64_t cycles) const;
+
+ private:
+  isa::MachineConfig mc_;
+  std::vector<std::unique_ptr<DspCore>> cores_;
+  std::vector<CoreTimeline> timelines_;
+  Scratchpad gsm_;
+  int active_cores_ = 1;
+  bool functional_ = true;
+};
+
+}  // namespace ftm::sim

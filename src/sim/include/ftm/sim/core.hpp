@@ -1,0 +1,93 @@
+// The VLIW DSP core model: register files plus an in-order bundle executor
+// with a register scoreboard. A whole bundle stalls until every source
+// operand written by an earlier bundle is ready (per-opcode latencies from
+// MachineConfig), so generated kernels are *measured*, not assumed: a badly
+// scheduled kernel still computes the right answer but pays stall cycles,
+// and the micro-kernel efficiency figures (Fig. 3) fall out of this model.
+//
+// SBR has `lat_sbr - 1` branch delay slots: the bundles following the
+// branch execute before the jump takes effect, matching the placement shown
+// in the paper's Table I.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+
+#include "ftm/isa/isa.hpp"
+#include "ftm/isa/machine.hpp"
+#include "ftm/sim/scratchpad.hpp"
+
+namespace ftm::sim {
+
+struct ScalarRegFile {
+  std::array<std::uint64_t, 64> v{};
+};
+
+struct VectorRegFile {
+  // 64 architectural vector registers of 32 FP32 lanes.
+  std::array<std::array<float, 32>, 64> v{};
+};
+
+/// Outcome of executing one Program to completion.
+struct ExecResult {
+  std::uint64_t cycles = 0;        ///< Total cycles including stalls.
+  std::uint64_t stall_cycles = 0;  ///< Cycles lost to scoreboard hazards.
+  std::uint64_t bundles = 0;       ///< Bundles issued (dynamic).
+  std::uint64_t vfmac_ops = 0;     ///< Dynamic VFMULAS32 count.
+  std::uint64_t flops = 0;         ///< FP32 flops performed by VFMULAS32.
+
+  /// Fraction of peak FMAC issue achieved: vfmac_ops / (3 * cycles).
+  double fmac_utilization(const isa::MachineConfig& mc) const {
+    return cycles == 0 ? 0.0
+                       : static_cast<double>(vfmac_ops) /
+                             (static_cast<double>(mc.vector_fmac_units) *
+                              static_cast<double>(cycles));
+  }
+};
+
+/// One DSP core: SPU/VPU register state plus its private SM and AM.
+/// GSM and DDR are cluster-level and reached only via DMA, so the core
+/// executor needs no reference to them.
+class DspCore {
+ public:
+  explicit DspCore(const isa::MachineConfig& mc = isa::default_machine());
+
+  Scratchpad& sm() { return sm_; }
+  Scratchpad& am() { return am_; }
+  ScalarRegFile& sregs() { return sregs_; }
+  VectorRegFile& vregs() { return vregs_; }
+  const isa::MachineConfig& machine() const { return mc_; }
+
+  /// Called after each bundle issues: (bundle index, issue cycle). Used by
+  /// debugging tools (kernel_explorer) to trace execution.
+  using TraceHook = std::function<void(std::size_t pc, std::uint64_t cycle)>;
+
+  /// Executes `prog` to completion (fall through the last bundle).
+  /// `max_cycles` guards against runaway loops in generated code.
+  ExecResult run(const isa::Program& prog,
+                 std::uint64_t max_cycles = 500'000'000);
+
+  /// Install (or clear, with nullptr) a per-bundle trace hook.
+  void set_trace(TraceHook hook) { trace_ = std::move(hook); }
+
+  /// Clears register state between kernel invocations (scratchpads are
+  /// managed separately by the caller).
+  void reset_registers();
+
+ private:
+  int latency(isa::Opcode op) const;
+  void execute(const isa::Instr& in);
+
+  isa::MachineConfig mc_;
+  ScalarRegFile sregs_;
+  VectorRegFile vregs_;
+  Scratchpad sm_;
+  Scratchpad am_;
+  // Scoreboard: cycle at which each register's last write becomes visible.
+  std::array<std::uint64_t, 64> sready_{};
+  std::array<std::uint64_t, 64> vready_{};
+  TraceHook trace_;
+};
+
+}  // namespace ftm::sim

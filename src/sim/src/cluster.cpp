@@ -1,0 +1,77 @@
+#include "ftm/sim/cluster.hpp"
+
+namespace ftm::sim {
+
+Cluster::Cluster(const isa::MachineConfig& mc)
+    : mc_(mc), gsm_("GSM", mc.gsm_bytes) {
+  cores_.reserve(mc.cores_per_cluster);
+  for (int i = 0; i < mc.cores_per_cluster; ++i) {
+    cores_.push_back(std::make_unique<DspCore>(mc));
+  }
+  timelines_.resize(mc.cores_per_cluster);
+  active_cores_ = mc.cores_per_cluster;
+}
+
+DspCore& Cluster::core(int i) {
+  FTM_EXPECTS(i >= 0 && i < num_cores());
+  return *cores_[i];
+}
+
+CoreTimeline& Cluster::timeline(int i) {
+  FTM_EXPECTS(i >= 0 && i < num_cores());
+  return timelines_[i];
+}
+
+void Cluster::set_active_cores(int n) {
+  FTM_EXPECTS(n >= 1 && n <= num_cores());
+  active_cores_ = n;
+}
+
+DmaHandle Cluster::dma(int c, const DmaRequest& req, const std::uint8_t* src,
+                       std::uint8_t* dst) {
+  FTM_EXPECTS(c >= 0 && c < num_cores());
+  const std::uint64_t cost = dma_cost_cycles(mc_, req, active_cores_);
+  if (functional_) {
+    FTM_EXPECTS(src != nullptr && dst != nullptr);
+    dma_copy(req, src, dst);
+  }
+  timelines_[c].add_dma_bytes(req.total_bytes());
+  return timelines_[c].dma_start(cost);
+}
+
+void Cluster::barrier() {
+  std::uint64_t latest = 0;
+  for (int i = 0; i < active_cores_; ++i) {
+    if (timelines_[i].now() > latest) latest = timelines_[i].now();
+  }
+  for (int i = 0; i < active_cores_; ++i) timelines_[i].advance_to(latest);
+}
+
+std::uint64_t Cluster::max_time() const {
+  std::uint64_t latest = 0;
+  for (int i = 0; i < active_cores_; ++i) {
+    if (timelines_[i].now() > latest) latest = timelines_[i].now();
+  }
+  return latest;
+}
+
+void Cluster::reset() {
+  for (auto& core : cores_) {
+    core->sm().reset();
+    core->am().reset();
+    core->reset_registers();
+  }
+  for (auto& t : timelines_) t.reset();
+  gsm_.reset();
+}
+
+double Cluster::cycles_to_seconds(std::uint64_t cycles) const {
+  return static_cast<double>(cycles) / (mc_.freq_ghz * 1e9);
+}
+
+double Cluster::gflops(double flops, std::uint64_t cycles) const {
+  const double secs = cycles_to_seconds(cycles);
+  return secs <= 0 ? 0.0 : flops / secs / 1e9;
+}
+
+}  // namespace ftm::sim

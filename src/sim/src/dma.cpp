@@ -1,0 +1,85 @@
+#include "ftm/sim/dma.hpp"
+
+#include <cmath>
+#include <cstring>
+
+namespace ftm::sim {
+
+std::uint64_t dma_cost_cycles(const isa::MachineConfig& mc,
+                              const DmaRequest& req, int ddr_share) {
+  FTM_EXPECTS(ddr_share >= 1);
+  const double bytes = static_cast<double>(req.total_bytes());
+  double per_cycle = 0;
+  switch (req.route) {
+    case DmaRoute::DdrToSpm:
+    case DmaRoute::SpmToDdr:
+      per_cycle = mc.ddr_bytes_per_cycle() / ddr_share;
+      break;
+    case DmaRoute::GsmToSpm:
+    case DmaRoute::SpmToGsm: {
+      // Per-core crossbar port, throttled when the aggregate cap would be
+      // exceeded by `ddr_share` concurrent users.
+      double per_core = static_cast<double>(mc.gsm_bytes_per_cycle_per_core);
+      const double aggregate =
+          static_cast<double>(mc.gsm_bytes_per_cycle_total) / ddr_share;
+      per_cycle = per_core < aggregate ? per_core : aggregate;
+      break;
+    }
+    case DmaRoute::OnChip:
+      per_cycle = static_cast<double>(mc.am_bytes_per_cycle);
+      break;
+  }
+  FTM_ASSERT(per_cycle > 0);
+  return mc.dma_startup_cycles +
+         static_cast<std::uint64_t>(std::ceil(bytes / per_cycle));
+}
+
+DmaHandle CoreTimeline::dma_start(std::uint64_t cost) {
+  // The engine starts this transfer when it is free, independent of the
+  // core clock (descriptors are assumed pre-queued by the ping-pong code).
+  const std::uint64_t start = dma_free_ > now_ ? dma_free_ : now_;
+  const std::uint64_t done = start + cost;
+  dma_free_ = done;
+  dma_total_ += cost;
+  dma_done_at_.push_back(done);
+  return dma_done_at_.size() - 1;
+}
+
+void CoreTimeline::dma_wait(DmaHandle h) {
+  FTM_EXPECTS(h < dma_done_at_.size());
+  advance_to(dma_done_at_[h]);
+}
+
+bool CoreTimeline::dma_done(DmaHandle h) const {
+  FTM_EXPECTS(h < dma_done_at_.size());
+  return dma_done_at_[h] <= now_;
+}
+
+std::uint64_t CoreTimeline::done_time(DmaHandle h) const {
+  FTM_EXPECTS(h < dma_done_at_.size());
+  return dma_done_at_[h];
+}
+
+void CoreTimeline::compute(std::uint64_t cycles) {
+  now_ += cycles;
+  compute_total_ += cycles;
+}
+
+void CoreTimeline::reset() {
+  now_ = 0;
+  dma_free_ = 0;
+  dma_done_at_.clear();
+  dma_total_ = 0;
+  compute_total_ = 0;
+  dma_bytes_ = 0;
+}
+
+void dma_copy(const DmaRequest& req, const std::uint8_t* src,
+              std::uint8_t* dst) {
+  for (std::size_t r = 0; r < req.rows; ++r) {
+    std::memcpy(dst + r * req.dst_stride, src + r * req.src_stride,
+                req.row_bytes);
+  }
+}
+
+}  // namespace ftm::sim

@@ -1,0 +1,29 @@
+// Minimal command-line flag parser for examples and benchmark binaries.
+// Supports `--name value`, `--name=value`, and boolean `--flag`.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ftm {
+
+class Cli {
+ public:
+  Cli(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name, const std::string& def) const;
+  long long get_int(const std::string& name, long long def) const;
+  double get_double(const std::string& name, double def) const;
+  bool get_bool(const std::string& name, bool def) const;
+
+  /// Positional (non-flag) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace ftm

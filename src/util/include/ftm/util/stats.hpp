@@ -1,0 +1,37 @@
+// Small descriptive-statistics helpers for benchmark reporting.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ftm {
+
+struct Summary {
+  double min = 0, max = 0, mean = 0, median = 0, stddev = 0;
+  std::size_t n = 0;
+};
+
+Summary summarize(std::span<const double> xs);
+
+/// Geometric mean; all inputs must be > 0.
+double geomean(std::span<const double> xs);
+
+/// Online accumulator (Welford) for long-running sweeps.
+class RunningStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0, m2_ = 0;
+  double min_ = 0, max_ = 0;
+};
+
+}  // namespace ftm

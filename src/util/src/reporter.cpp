@@ -1,0 +1,79 @@
+#include "ftm/util/reporter.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+
+#include "ftm/util/assert.hpp"
+
+namespace ftm {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+Table& Table::begin_row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+Table& Table::cell(const std::string& v) {
+  FTM_EXPECTS(!rows_.empty());
+  FTM_EXPECTS(rows_.back().size() < header_.size());
+  rows_.back().push_back(v);
+  return *this;
+}
+
+Table& Table::cell(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return cell(std::string(buf));
+}
+
+Table& Table::cell(std::size_t v) { return cell(std::to_string(v)); }
+Table& Table::cell(long long v) { return cell(std::to_string(v)); }
+
+void Table::print(const std::string& title) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  print_banner(title);
+  auto print_row = [&](const std::vector<std::string>& row) {
+    std::string line = "| ";
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      std::string cellv = c < row.size() ? row[c] : "";
+      cellv.resize(width[c], ' ');
+      line += cellv + " | ";
+    }
+    std::cout << line << "\n";
+  };
+  print_row(header_);
+  std::string sep = "|-";
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    sep += std::string(width[c], '-') + "-|-";
+  sep.pop_back();
+  std::cout << sep << "\n";
+  for (const auto& row : rows_) print_row(row);
+  std::cout << std::endl;
+}
+
+void Table::write_csv(const std::string& path) const {
+  std::ofstream out(path);
+  FTM_ENSURES(out.good());
+  auto csv_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) out << ",";
+      out << row[c];
+    }
+    out << "\n";
+  };
+  csv_row(header_);
+  for (const auto& row : rows_) csv_row(row);
+}
+
+void print_banner(const std::string& text) {
+  std::cout << "\n=== " << text << " ===\n";
+}
+
+}  // namespace ftm

@@ -1,0 +1,85 @@
+// Workload builders: deterministic matrix generation plus the two
+// application workloads the paper's introduction motivates — K-means
+// distance computation and CNN convolution lowered via im2col — both of
+// which produce exactly the irregular GEMM shapes ftIMM targets.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "ftm/util/matrix.hpp"
+#include "ftm/util/prng.hpp"
+
+namespace ftm::workload {
+
+/// The three irregular GEMM classes of paper §III-A.
+enum class IrregularType {
+  TallTimesSmall,      ///< M >> K ~= N          (type I)
+  SkinnyTallTimesTall, ///< K >> M ~= N          (type II)
+  RegularTimesSkinny,  ///< M ~= K >> N          (type III)
+  Regular,             ///< all dimensions large (TGEMM's home turf)
+};
+
+const char* to_string(IrregularType t);
+
+/// Classifies a GEMM shape the way ftIMM's dispatcher does (N <= 96 and at
+/// least one of M, K much larger than the others).
+IrregularType classify(std::size_t m, std::size_t n, std::size_t k);
+
+/// A GEMM problem instance with owned operands.
+struct GemmProblem {
+  std::size_t m = 0, n = 0, k = 0;
+  HostMatrix a, b, c;
+
+  GemmProblem(std::size_t m_, std::size_t n_, std::size_t k_);
+  double flops() const { return 2.0 * m * n * k; }
+};
+
+/// Deterministic random problem (values in [-1, 1)).
+GemmProblem make_problem(std::size_t m, std::size_t n, std::size_t k,
+                         std::uint64_t seed = 42);
+
+// --- K-means distance workload ---------------------------------------------
+
+/// K-means assigns `samples` points of dimension `dims` to `centroids`
+/// clusters; the distance computation is the type-I GEMM
+/// (samples x dims) * (dims x centroids) with samples >> dims, centroids.
+struct KmeansShape {
+  std::size_t samples = 1 << 18;
+  std::size_t dims = 32;
+  std::size_t centroids = 16;
+};
+
+/// Builds the GEMM of one K-means iteration: A = points, B = centroids^T.
+GemmProblem make_kmeans_gemm(const KmeansShape& shape,
+                             std::uint64_t seed = 7);
+
+// --- im2col convolution workload --------------------------------------------
+
+/// One convolutional layer lowered to GEMM by im2col:
+///   M = batch * out_h * out_w, K = in_ch * kh * kw, N = out_ch.
+struct ConvLayer {
+  std::string name;
+  std::size_t batch = 1;
+  std::size_t in_ch = 3, height = 224, width = 224;
+  std::size_t out_ch = 64, kh = 3, kw = 3;
+  std::size_t stride = 1, pad = 1;
+
+  std::size_t out_h() const { return (height + 2 * pad - kh) / stride + 1; }
+  std::size_t out_w() const { return (width + 2 * pad - kw) / stride + 1; }
+  std::size_t gemm_m() const { return batch * out_h() * out_w(); }
+  std::size_t gemm_k() const { return in_ch * kh * kw; }
+  std::size_t gemm_n() const { return out_ch; }
+};
+
+/// Representative VGG-16-style layers from first (huge M, small K/N) to
+/// deep (balanced) — the "shape varies greatly through the network"
+/// observation of the paper's introduction.
+std::vector<ConvLayer> vgg_style_layers(std::size_t batch = 1);
+
+/// Performs im2col on a deterministic input image and returns the lowered
+/// GEMM (A = im2col patches, B = filters).
+GemmProblem make_im2col_gemm(const ConvLayer& layer, std::uint64_t seed = 11);
+
+}  // namespace ftm::workload

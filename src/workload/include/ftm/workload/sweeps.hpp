@@ -1,0 +1,52 @@
+// The exact parameter sweeps of the paper's evaluation (Figs. 3-7), so
+// every benchmark binary iterates the same grid the paper plots.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ftm::workload {
+
+struct GemmShape {
+  std::size_t m = 0, n = 0, k = 0;
+};
+
+// --- Fig. 3: micro-kernel sweeps ---------------------------------------
+/// (a-c): K=512 with N in {96, 64, 32}; (d-f): K=32. M is the micro-kernel
+/// row count ms; its range is bounded by registers, as in the paper.
+std::vector<int> microkernel_m_values();
+std::vector<int> microkernel_n_values();
+std::vector<int> microkernel_k_values();
+
+// --- Fig. 4: single-core GEMMs ------------------------------------------
+/// Type I: M = 20480 fixed, N = K in {8..96}.
+std::vector<GemmShape> fig4_type1();
+/// Type II: K = 20480, M = N in {8..96}.
+std::vector<GemmShape> fig4_type2();
+/// Type III: M = K = 20480, N sweeps.
+std::vector<GemmShape> fig4_type3();
+
+// --- Fig. 5: multi-core GEMMs -------------------------------------------
+/// (a) type I with large fixed M, N=K sweeping small values.
+std::vector<GemmShape> fig5a(std::size_t m = 1 << 16);
+/// (d) type I with N=K=32, M sweeping 2^16..2^22.
+std::vector<GemmShape> fig5d();
+/// (b) type II with K = 2^16, M=N sweeping.
+std::vector<GemmShape> fig5b();
+/// (e) type II with M=N=32, K sweeping 2^16..2^22.
+std::vector<GemmShape> fig5e();
+/// (c) type III with M=K=20480, N sweeping.
+std::vector<GemmShape> fig5c();
+/// (f) type III with N=32, M=K sweeping 4096..20480.
+std::vector<GemmShape> fig5f();
+
+// --- Fig. 6: scalability ---------------------------------------------------
+/// The three 20480-scale problems whose 1..8-core speedup the paper plots.
+std::vector<GemmShape> fig6_cases();
+
+// --- Fig. 7: CPU vs GPDSP ---------------------------------------------------
+std::vector<GemmShape> fig7_type1();
+std::vector<GemmShape> fig7_type2();
+std::vector<GemmShape> fig7_type3();
+
+}  // namespace ftm::workload

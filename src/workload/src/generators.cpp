@@ -1,0 +1,127 @@
+#include "ftm/workload/generators.hpp"
+
+namespace ftm::workload {
+
+const char* to_string(IrregularType t) {
+  switch (t) {
+    case IrregularType::TallTimesSmall: return "tall-x-small";
+    case IrregularType::SkinnyTallTimesTall: return "skinnytall-x-tallskinny";
+    case IrregularType::RegularTimesSkinny: return "regular-x-tallskinny";
+    case IrregularType::Regular: return "regular";
+  }
+  return "?";
+}
+
+IrregularType classify(std::size_t m, std::size_t n, std::size_t k) {
+  // "Irregular" per §III-A: N <= 96 and at least one of M, K sufficiently
+  // large. The 8x factor distinguishes "much larger".
+  constexpr std::size_t kFactor = 8;
+  if (n > 96) return IrregularType::Regular;
+  const bool m_large = m >= kFactor * std::max(n, std::size_t{1});
+  const bool k_large = k >= kFactor * std::max(n, std::size_t{1});
+  if (m_large && k_large && m >= k / 4 && k >= m / 4) {
+    return IrregularType::RegularTimesSkinny;  // M ~= K >> N
+  }
+  if (k_large && k >= kFactor * std::max(m, std::size_t{1})) {
+    return IrregularType::SkinnyTallTimesTall;  // K >> M ~= N
+  }
+  if (m_large) return IrregularType::TallTimesSmall;  // M >> K ~= N
+  if (k_large) return IrregularType::SkinnyTallTimesTall;
+  return IrregularType::Regular;
+}
+
+GemmProblem::GemmProblem(std::size_t m_, std::size_t n_, std::size_t k_)
+    : m(m_), n(n_), k(k_), a(m_, k_), b(k_, n_), c(m_, n_) {}
+
+GemmProblem make_problem(std::size_t m, std::size_t n, std::size_t k,
+                         std::uint64_t seed) {
+  GemmProblem p(m, n, k);
+  Prng rng(seed);
+  p.a.fill_random(rng);
+  p.b.fill_random(rng);
+  p.c.fill_random(rng, -0.5f, 0.5f);
+  return p;
+}
+
+GemmProblem make_kmeans_gemm(const KmeansShape& shape, std::uint64_t seed) {
+  // Distances ||x - c||^2 expand to x.x - 2 x.c + c.c; the x.c term is the
+  // GEMM points(samples x dims) * centroidsT(dims x centroids).
+  GemmProblem p(shape.samples, shape.centroids, shape.dims);
+  Prng rng(seed);
+  // Clustered points: centroids first, then points scattered around them.
+  HostMatrix centers(shape.centroids, shape.dims);
+  centers.fill_random(rng, -4.0f, 4.0f);
+  for (std::size_t s = 0; s < shape.samples; ++s) {
+    const std::size_t cl = rng.next_below(shape.centroids);
+    for (std::size_t d = 0; d < shape.dims; ++d) {
+      p.a.at(s, d) = centers.at(cl, d) + rng.next_float(-0.3f, 0.3f);
+    }
+  }
+  for (std::size_t d = 0; d < shape.dims; ++d) {
+    for (std::size_t cl = 0; cl < shape.centroids; ++cl) {
+      p.b.at(d, cl) = centers.at(cl, d);
+    }
+  }
+  p.c.fill(0.0f);
+  return p;
+}
+
+std::vector<ConvLayer> vgg_style_layers(std::size_t batch) {
+  std::vector<ConvLayer> ls;
+  auto add = [&](const char* name, std::size_t ic, std::size_t hw,
+                 std::size_t oc) {
+    ConvLayer l;
+    l.name = name;
+    l.batch = batch;
+    l.in_ch = ic;
+    l.height = l.width = hw;
+    l.out_ch = oc;
+    ls.push_back(l);
+  };
+  add("conv1_1", 3, 224, 64);    // M=50176, K=27,   N=64  (type I)
+  add("conv2_1", 64, 112, 96);   // M=12544, K=576,  N=96
+  add("conv3_1", 96, 56, 96);    // M=3136,  K=864,  N=96
+  add("conv4_1", 96, 28, 96);    // deeper: M shrinks, K grows
+  add("conv5_1", 96, 14, 96);
+  return ls;
+}
+
+GemmProblem make_im2col_gemm(const ConvLayer& l, std::uint64_t seed) {
+  GemmProblem p(l.gemm_m(), l.gemm_n(), l.gemm_k());
+  Prng rng(seed);
+  // Deterministic input tensor [batch][in_ch][h][w].
+  std::vector<float> input(l.batch * l.in_ch * l.height * l.width);
+  for (auto& v : input) v = rng.next_float(-1.0f, 1.0f);
+  auto in_at = [&](std::size_t n, std::size_t ch, long y, long x) -> float {
+    if (y < 0 || x < 0 || y >= static_cast<long>(l.height) ||
+        x >= static_cast<long>(l.width)) {
+      return 0.0f;  // zero padding
+    }
+    return input[((n * l.in_ch + ch) * l.height + y) * l.width + x];
+  };
+  // im2col: row = (n, oy, ox), col = (ch, ky, kx).
+  for (std::size_t n = 0; n < l.batch; ++n) {
+    for (std::size_t oy = 0; oy < l.out_h(); ++oy) {
+      for (std::size_t ox = 0; ox < l.out_w(); ++ox) {
+        const std::size_t row = (n * l.out_h() + oy) * l.out_w() + ox;
+        std::size_t col = 0;
+        for (std::size_t ch = 0; ch < l.in_ch; ++ch) {
+          for (std::size_t ky = 0; ky < l.kh; ++ky) {
+            for (std::size_t kx = 0; kx < l.kw; ++kx, ++col) {
+              p.a.at(row, col) =
+                  in_at(n, ch, static_cast<long>(oy * l.stride + ky) -
+                                   static_cast<long>(l.pad),
+                        static_cast<long>(ox * l.stride + kx) -
+                            static_cast<long>(l.pad));
+            }
+          }
+        }
+      }
+    }
+  }
+  p.b.fill_random(rng, -0.5f, 0.5f);  // filters, K x N
+  p.c.fill(0.0f);
+  return p;
+}
+
+}  // namespace ftm::workload

@@ -1,0 +1,97 @@
+#include "ftm/workload/sweeps.hpp"
+
+namespace ftm::workload {
+
+namespace {
+std::vector<std::size_t> small_dims() { return {8, 16, 32, 48, 64, 80, 96}; }
+}  // namespace
+
+std::vector<int> microkernel_m_values() { return {2, 4, 6, 8, 10, 12, 14, 16}; }
+std::vector<int> microkernel_n_values() { return {96, 64, 32}; }
+std::vector<int> microkernel_k_values() { return {512, 32}; }
+
+std::vector<GemmShape> fig4_type1() {
+  std::vector<GemmShape> v;
+  for (std::size_t d : small_dims()) v.push_back({20480, d, d});
+  return v;
+}
+
+std::vector<GemmShape> fig4_type2() {
+  std::vector<GemmShape> v;
+  for (std::size_t d : small_dims()) v.push_back({d, d, 20480});
+  return v;
+}
+
+std::vector<GemmShape> fig4_type3() {
+  std::vector<GemmShape> v;
+  for (std::size_t d : small_dims()) v.push_back({20480, d, 20480});
+  return v;
+}
+
+std::vector<GemmShape> fig5a(std::size_t m) {
+  std::vector<GemmShape> v;
+  for (std::size_t d : small_dims()) v.push_back({m, d, d});
+  return v;
+}
+
+std::vector<GemmShape> fig5d() {
+  std::vector<GemmShape> v;
+  for (std::size_t e = 16; e <= 22; ++e)
+    v.push_back({std::size_t{1} << e, 32, 32});
+  return v;
+}
+
+std::vector<GemmShape> fig5b() {
+  std::vector<GemmShape> v;
+  for (std::size_t d : small_dims()) v.push_back({d, d, std::size_t{1} << 16});
+  return v;
+}
+
+std::vector<GemmShape> fig5e() {
+  std::vector<GemmShape> v;
+  for (std::size_t e = 16; e <= 22; ++e)
+    v.push_back({32, 32, std::size_t{1} << e});
+  return v;
+}
+
+std::vector<GemmShape> fig5c() {
+  std::vector<GemmShape> v;
+  for (std::size_t d : small_dims()) v.push_back({20480, d, 20480});
+  return v;
+}
+
+std::vector<GemmShape> fig5f() {
+  std::vector<GemmShape> v;
+  for (std::size_t mk : {4096, 8192, 12288, 16384, 20480})
+    v.push_back({static_cast<std::size_t>(mk), 32,
+                 static_cast<std::size_t>(mk)});
+  return v;
+}
+
+std::vector<GemmShape> fig6_cases() {
+  return {
+      {20480, 32, 32},      // type I
+      {32, 32, 20480},      // type II
+      {20480, 32, 20480},   // type III
+  };
+}
+
+std::vector<GemmShape> fig7_type1() {
+  std::vector<GemmShape> v;
+  for (std::size_t d : small_dims()) v.push_back({20480, d, d});
+  return v;
+}
+
+std::vector<GemmShape> fig7_type2() {
+  std::vector<GemmShape> v;
+  for (std::size_t d : small_dims()) v.push_back({d, d, 20480});
+  return v;
+}
+
+std::vector<GemmShape> fig7_type3() {
+  std::vector<GemmShape> v;
+  for (std::size_t d : small_dims()) v.push_back({20480, d, 20480});
+  return v;
+}
+
+}  // namespace ftm::workload

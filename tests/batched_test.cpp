@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ftm/core/batched.hpp"
+#include "ftm/cpu/cpu_gemm.hpp"
+#include "ftm/workload/generators.hpp"
+
+namespace ftm::core {
+namespace {
+
+FtimmEngine& engine() {
+  static FtimmEngine e;
+  return e;
+}
+
+TEST(Batched, EmptyBatchIsZero) {
+  const BatchedResult r = sgemm_batched(engine(), {});
+  EXPECT_EQ(r.cycles, 0u);
+  EXPECT_EQ(r.problems, 0u);
+}
+
+TEST(Batched, EveryProblemComputedCorrectly) {
+  std::vector<workload::GemmProblem> probs;
+  std::vector<HostMatrix> expects;
+  std::vector<GemmInput> inputs;
+  struct S {
+    std::size_t m, n, k;
+  };
+  for (const S s : {S{64, 8, 8}, S{128, 16, 16}, S{96, 32, 24},
+                    S{200, 8, 40}, S{31, 7, 13}, S{512, 32, 32}}) {
+    probs.push_back(workload::make_problem(s.m, s.n, s.k, 400 + s.m));
+  }
+  for (auto& p : probs) {
+    HostMatrix e(p.m, p.n);
+    for (std::size_t i = 0; i < p.m; ++i)
+      for (std::size_t j = 0; j < p.n; ++j) e.at(i, j) = p.c.at(i, j);
+    cpu::reference_gemm(p.a.view(), p.b.view(), e.view());
+    expects.push_back(std::move(e));
+  }
+  for (auto& p : probs) {
+    inputs.push_back(GemmInput::bound(p.a.view(), p.b.view(), p.c.view()));
+  }
+  const BatchedResult r = sgemm_batched(engine(), inputs);
+  EXPECT_EQ(r.problems, probs.size());
+  EXPECT_GT(r.cycles, 0u);
+  for (std::size_t i = 0; i < probs.size(); ++i) {
+    EXPECT_LT(max_rel_diff(probs[i].c.view(), expects[i].view()),
+              gemm_tolerance(probs[i].k))
+        << "problem " << i;
+  }
+}
+
+TEST(Batched, SmallProblemsClassifiedSmall) {
+  std::vector<GemmInput> inputs;
+  for (int i = 0; i < 16; ++i)
+    inputs.push_back(GemmInput::shape_only(128, 16, 16));
+  FtimmOptions opt;
+  opt.functional = false;
+  const BatchedResult r = sgemm_batched(engine(), inputs, opt);
+  EXPECT_EQ(r.small_problems, 16u);
+  EXPECT_EQ(r.wide_problems, 0u);
+}
+
+TEST(Batched, LargeProblemsRunWide) {
+  std::vector<GemmInput> inputs{GemmInput::shape_only(20480, 96, 4096)};
+  FtimmOptions opt;
+  opt.functional = false;
+  const BatchedResult r = sgemm_batched(engine(), inputs, opt);
+  EXPECT_EQ(r.wide_problems, 1u);
+}
+
+TEST(Batched, BatchParallelBeatsSequentialWide) {
+  // 32 small GEMMs: running them one core each (8 concurrently) must beat
+  // running each with all 8 cores sequentially — the whole point of the
+  // batch scheduler (per-GEMM multi-core overheads dominate tiny shapes).
+  std::vector<GemmInput> inputs;
+  for (int i = 0; i < 32; ++i)
+    inputs.push_back(GemmInput::shape_only(256, 16, 16));
+  FtimmOptions opt;
+  opt.functional = false;
+  const BatchedResult batched = sgemm_batched(engine(), inputs, opt);
+  std::uint64_t sequential = 0;
+  for (const auto& in : inputs) sequential += engine().sgemm(in, opt).cycles;
+  EXPECT_LT(batched.cycles, sequential);
+}
+
+TEST(Batched, MakespanScalesDownWithCores) {
+  std::vector<GemmInput> inputs;
+  for (int i = 0; i < 24; ++i)
+    inputs.push_back(GemmInput::shape_only(512, 16, 16));
+  FtimmOptions opt;
+  opt.functional = false;
+  opt.cores = 1;
+  const BatchedResult c1 = sgemm_batched(engine(), inputs, opt);
+  opt.cores = 8;
+  const BatchedResult c8 = sgemm_batched(engine(), inputs, opt);
+  EXPECT_LT(c8.cycles, c1.cycles);
+  // Bandwidth-shared, so under 8x; but meaningfully parallel.
+  EXPECT_GT(static_cast<double>(c1.cycles) / c8.cycles, 1.5);
+}
+
+TEST(Batched, AggregateFlopsAccounted) {
+  std::vector<GemmInput> inputs;
+  double flops = 0;
+  for (int i = 1; i <= 5; ++i) {
+    inputs.push_back(GemmInput::shape_only(64 * i, 8, 8));
+    flops += 2.0 * 64 * i * 8 * 8;
+  }
+  FtimmOptions opt;
+  opt.functional = false;
+  const BatchedResult r = sgemm_batched(engine(), inputs, opt);
+  EXPECT_DOUBLE_EQ(r.flops, flops);
+  EXPECT_GT(r.gflops, 0);
+}
+
+}  // namespace
+}  // namespace ftm::core

@@ -1,0 +1,145 @@
+// Failure injection and error-path coverage: the library must fail loudly
+// (ContractViolation) on invalid inputs and impossible configurations
+// instead of corrupting simulated memory or silently mis-sizing blocks.
+#include <gtest/gtest.h>
+
+#include "ftm/core/ftimm.hpp"
+#include "ftm/core/strategies.hpp"
+#include "ftm/kernelgen/generator.hpp"
+#include "ftm/kernelgen/microkernel.hpp"
+#include "ftm/sim/cluster.hpp"
+#include "ftm/workload/generators.hpp"
+
+namespace ftm {
+namespace {
+
+using core::FtimmEngine;
+using core::FtimmOptions;
+using core::GemmInput;
+
+TEST(Failure, ZeroDimensionGemmRejected) {
+  FtimmEngine e;
+  FtimmOptions opt;
+  opt.functional = false;
+  EXPECT_THROW(e.sgemm(GemmInput::shape_only(0, 32, 32), opt),
+               ContractViolation);
+  EXPECT_THROW(e.sgemm(GemmInput::shape_only(32, 0, 32), opt),
+               ContractViolation);
+  EXPECT_THROW(e.tgemm(GemmInput::shape_only(32, 32, 0), opt),
+               ContractViolation);
+}
+
+TEST(Failure, BadCoreCountRejected) {
+  FtimmEngine e;
+  FtimmOptions opt;
+  opt.functional = false;
+  opt.cores = 0;
+  EXPECT_THROW(e.sgemm(GemmInput::shape_only(64, 32, 32), opt),
+               ContractViolation);
+  opt.cores = 9;
+  EXPECT_THROW(e.sgemm(GemmInput::shape_only(64, 32, 32), opt),
+               ContractViolation);
+}
+
+TEST(Failure, MismatchedViewsRejected) {
+  HostMatrix a(8, 16), b(15, 4), c(8, 4);  // K mismatch: 16 vs 15
+  EXPECT_THROW(GemmInput::bound(a.view(), b.view(), c.view()),
+               ContractViolation);
+  HostMatrix b2(16, 4), c2(9, 4);  // M mismatch
+  EXPECT_THROW(GemmInput::bound(a.view(), b2.view(), c2.view()),
+               ContractViolation);
+}
+
+TEST(Failure, KernelSpecOutOfRangeRejected) {
+  const auto& mc = isa::default_machine();
+  EXPECT_THROW(kernelgen::choose_tiling({6, 512, 0}, mc), ContractViolation);
+  EXPECT_THROW(kernelgen::choose_tiling({6, 512, 97}, mc),
+               ContractViolation);
+  EXPECT_THROW(kernelgen::choose_tiling({0, 512, 96}, mc),
+               ContractViolation);
+  EXPECT_THROW(kernelgen::choose_tiling({6, 0, 96}, mc), ContractViolation);
+}
+
+TEST(Failure, OversizedBlocksRejectedByCapacityAudit) {
+  const auto& mc = isa::default_machine();
+  // k_a that cannot fit AM alongside C_a.
+  core::MBlocks mb;
+  mb.ka = 3000;
+  EXPECT_THROW(core::check_m_blocks(mb, mc), ContractViolation);
+  // K-strategy staging that overflows GSM.
+  core::KBlocks kb;
+  kb.ma = 4096;
+  kb.mg = 4096;
+  EXPECT_THROW(core::check_k_blocks(kb, mc), ContractViolation);
+  // TGEMM with the padding invariant broken.
+  core::TBlocks tb;
+  tb.na = 64;
+  EXPECT_THROW(core::check_t_blocks(tb, mc), ContractViolation);
+}
+
+TEST(Failure, StrategiesRejectUncheckedBlockOverflow) {
+  // Calling a strategy directly with overflowing blocks must throw before
+  // any data is touched.
+  FtimmEngine e;
+  core::MBlocks mb;
+  mb.kg = 1 << 20;  // 2*kg*ng*4 = 768 MB >> 6 MB GSM
+  workload::GemmProblem p = workload::make_problem(64, 32, 64, 1);
+  FtimmOptions opt;
+  EXPECT_THROW(
+      core::run_strategy_m(e.cluster(), e.kernels(),
+                           GemmInput::bound(p.a.view(), p.b.view(),
+                                            p.c.view()),
+                           mb, opt),
+      ContractViolation);
+}
+
+TEST(Failure, ScratchpadOverflowSurfacesFromProvisioning) {
+  sim::Cluster cl;
+  // Fill AM, then ask for one more byte region.
+  cl.core(0).am().alloc(cl.core(0).am().capacity());
+  EXPECT_THROW(cl.core(0).am().alloc(1), ContractViolation);
+  // After reset the same allocation succeeds: failure is not sticky.
+  cl.reset();
+  EXPECT_NO_THROW(cl.core(0).am().alloc(1024));
+}
+
+TEST(Failure, DmaOutOfBoundsScratchpadAccessRejected) {
+  sim::Cluster cl;
+  std::vector<std::uint8_t> host(4096);
+  sim::DmaRequest req;
+  req.route = sim::DmaRoute::DdrToSpm;
+  req.rows = 1;
+  req.row_bytes = 4096;
+  req.src_stride = req.dst_stride = 4096;
+  // Destination window extends past AM's end.
+  EXPECT_THROW(
+      cl.dma(0, req, host.data(),
+             cl.core(0).am().raw(cl.core(0).am().capacity() - 64, 4096)),
+      ContractViolation);
+}
+
+TEST(Failure, EngineRemainsUsableAfterError) {
+  FtimmEngine e;
+  FtimmOptions opt;
+  opt.functional = false;
+  EXPECT_THROW(e.sgemm(GemmInput::shape_only(0, 1, 1), opt),
+               ContractViolation);
+  // Subsequent valid calls work on the same engine.
+  const auto r = e.sgemm(GemmInput::shape_only(1024, 32, 32), opt);
+  EXPECT_GT(r.cycles, 0u);
+}
+
+TEST(Failure, ProgramWithBadUnitAssignmentRejectedAtRun) {
+  sim::DspCore core;
+  isa::Program p;
+  p.name = "bad";
+  isa::Instr i = isa::make_vfmulas32(0, 1, 2);
+  i.unit = isa::Unit::SLS1;  // inadmissible
+  isa::Bundle b;
+  b.ops = {i};
+  p.bundles = {b};
+  EXPECT_THROW(core.run(p), ContractViolation);
+}
+
+}  // namespace
+}  // namespace ftm

@@ -1,0 +1,261 @@
+// Structural audits of generated micro-kernel programs: register budgets,
+// memory-address bounds, branch/delay-slot placement, unit occupancy, and
+// the instruction-count economics the paper's design arguments rely on.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "ftm/kernelgen/generator.hpp"
+#include "ftm/kernelgen/microkernel.hpp"
+#include "ftm/kernelgen/scheduler.hpp"
+
+namespace ftm::kernelgen {
+namespace {
+
+using isa::Instr;
+using isa::Opcode;
+using isa::Program;
+using isa::Unit;
+
+const isa::MachineConfig& mc() { return isa::default_machine(); }
+
+std::vector<KernelSpec> audit_specs() {
+  std::vector<KernelSpec> specs;
+  for (int na : {96, 80, 64, 48, 33, 32, 17, 8, 1}) {
+    for (int ka : {512, 129, 64, 7, 1}) {
+      for (int ms : {1, 3, 6, 8, 11, 14, 16}) {
+        specs.push_back({ms, ka, na});
+      }
+    }
+  }
+  return specs;
+}
+
+class ProgramAudit : public ::testing::TestWithParam<KernelSpec> {};
+
+TEST_P(ProgramAudit, ValidatesAndStaysInRegisterBudget) {
+  const KernelSpec spec = GetParam();
+  const Program p = generate_microkernel(spec, mc());
+  ASSERT_NO_THROW(p.validate());
+  int max_sreg = -1, max_vreg = -1;
+  for (const auto& b : p.bundles) {
+    for (const auto& op : b.ops) {
+      const OpEffects eff = op_effects(op);
+      for (int r : eff.reads) {
+        if (r < 64) max_sreg = std::max(max_sreg, r);
+        else max_vreg = std::max(max_vreg, r - 64);
+      }
+      for (int w : eff.writes) {
+        if (w < 64) max_sreg = std::max(max_sreg, w);
+        else max_vreg = std::max(max_vreg, w - 64);
+      }
+    }
+  }
+  EXPECT_LT(max_sreg, mc().scalar_regs);
+  EXPECT_LT(max_vreg, mc().vector_regs);
+}
+
+TEST_P(ProgramAudit, MemoryAccessesStayInOperandFootprints) {
+  // Every SM access must fall inside A_s's footprint and every AM access
+  // inside B_a's or C_a's, relative to the base registers (offsets only;
+  // bases are the ABI registers set by the caller).
+  const KernelSpec spec = GetParam();
+  const Program p = generate_microkernel(spec, mc());
+  const long a_bytes = static_cast<long>(spec.a_bytes());
+  const long b_bytes = static_cast<long>(spec.b_bytes());
+  const long c_bytes = static_cast<long>(spec.c_bytes());
+  for (const auto& b : p.bundles) {
+    for (const auto& op : b.ops) {
+      const int bytes =
+          (op.op == Opcode::SLDDW || op.op == Opcode::VLDDW ||
+           op.op == Opcode::VSTDW)
+              ? (op.op == Opcode::SLDDW ? 8 : 256)
+              : (op.op == Opcode::SLDW ? 4 : 128);
+      switch (op.op) {
+        case Opcode::SLDW:
+        case Opcode::SLDDW:
+          // A loads: base S0 (absolute) or S4 (moving, bounded by A too).
+          EXPECT_GE(op.imm, 0);
+          EXPECT_LE(op.imm + bytes, a_bytes)
+              << op.to_text() << " in " << p.name;
+          break;
+        case Opcode::VLDW:
+        case Opcode::VLDDW:
+          if (op.abase == kRegCBase) {
+            EXPECT_LE(op.imm + bytes, c_bytes) << op.to_text();
+          } else {
+            EXPECT_LE(op.imm + bytes, b_bytes)
+                << op.to_text() << " in " << p.name;
+          }
+          EXPECT_GE(op.imm, 0);
+          break;
+        case Opcode::VSTW:
+        case Opcode::VSTDW:
+          EXPECT_EQ(op.abase, kRegCBase);
+          EXPECT_GE(op.imm, 0);
+          EXPECT_LE(op.imm + bytes, c_bytes) << op.to_text();
+          break;
+        default:
+          break;
+      }
+    }
+  }
+}
+
+TEST_P(ProgramAudit, FmaCountMatchesWorkExactly) {
+  // Static FMAC ops x trip counts == ms * ceil32(na)/32-vectors * ka.
+  // Verified dynamically: the calibration's vfmac counter.
+  const KernelSpec spec = GetParam();
+  MicroKernel uk(spec, mc());
+  const std::uint64_t expected = static_cast<std::uint64_t>(spec.ms) *
+                                 spec.ka * spec.vn();
+  EXPECT_EQ(uk.calibration().vfmac_ops, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Audit, ProgramAudit, ::testing::ValuesIn(audit_specs()),
+    [](const ::testing::TestParamInfo<KernelSpec>& info) {
+      return "ms" + std::to_string(info.param.ms) + "_ka" +
+             std::to_string(info.param.ka) + "_na" +
+             std::to_string(info.param.na);
+    });
+
+TEST(Branches, DelaySlotsStayInsideBody) {
+  for (const KernelSpec spec :
+       {KernelSpec{6, 512, 96}, KernelSpec{8, 512, 32},
+        KernelSpec{14, 864, 96}, KernelSpec{6, 100, 64}}) {
+    const Program p = generate_microkernel(spec, mc());
+    for (std::size_t i = 0; i < p.bundles.size(); ++i) {
+      for (const auto& op : p.bundles[i].ops) {
+        if (op.op != Opcode::SBR) continue;
+        // Target before the branch (backward loop) and delay slots exist.
+        EXPECT_LT(static_cast<std::size_t>(op.imm), i);
+        EXPECT_LE(i + static_cast<std::size_t>(mc().lat_sbr) - 1,
+                  p.bundles.size() - 1);
+      }
+    }
+  }
+}
+
+TEST(Branches, LoopCounterTripsMatchIterationCount) {
+  // Dynamic bundle count must correspond to the loop actually executing
+  // trips times: calibrated dynamic bundles > static program size for
+  // kernels with a loop, equal without.
+  MicroKernel looped({6, 512, 96}, mc());
+  EXPECT_GT(looped.calibration().bundles,
+            looped.program().bundles.size());
+  MicroKernel straight({6, 2, 96}, mc());
+  EXPECT_EQ(straight.calibration().bundles,
+            straight.program().bundles.size());
+}
+
+TEST(Broadcast, AtMostTwoScalarsPerCycle) {
+  // The paper's §IV-A1 bandwidth ceiling, audited on the generated code:
+  // per bundle, broadcasts carry at most 2 FP32 scalars.
+  for (const KernelSpec spec :
+       {KernelSpec{8, 512, 96}, KernelSpec{6, 512, 64},
+        KernelSpec{6, 512, 32}, KernelSpec{16, 128, 48}}) {
+    const Program p = generate_microkernel(spec, mc());
+    for (const auto& b : p.bundles) {
+      int scalars = 0;
+      for (const auto& op : b.ops) {
+        if (op.op == Opcode::SVBCAST) scalars += 1;
+        if (op.op == Opcode::SVBCAST2) scalars += 2;
+      }
+      EXPECT_LE(scalars, mc().broadcast_fp32_per_cycle);
+    }
+  }
+}
+
+TEST(VectorLoads, AtMostFourVectorsPerCycle) {
+  // AM bandwidth: two VLS units x VLDDW = 4 vector registers (512 B) per
+  // cycle, the paper's §II figure.
+  for (const KernelSpec spec :
+       {KernelSpec{8, 512, 96}, KernelSpec{6, 512, 32}}) {
+    const Program p = generate_microkernel(spec, mc());
+    for (const auto& b : p.bundles) {
+      int vregs = 0;
+      for (const auto& op : b.ops) {
+        if (op.op == Opcode::VLDW) vregs += 1;
+        if (op.op == Opcode::VLDDW) vregs += 2;
+      }
+      EXPECT_LE(vregs, 4);
+    }
+  }
+}
+
+TEST(Generator, StoresWriteEveryOutputVectorOnce) {
+  for (const KernelSpec spec :
+       {KernelSpec{6, 64, 96}, KernelSpec{11, 33, 32},
+        KernelSpec{16, 16, 64}}) {
+    const Program p = generate_microkernel(spec, mc());
+    std::map<int, int> stored_offsets;  // C byte offset -> count
+    for (const auto& b : p.bundles) {
+      for (const auto& op : b.ops) {
+        if (op.op == Opcode::VSTW) stored_offsets[op.imm] += 1;
+        if (op.op == Opcode::VSTDW) {
+          stored_offsets[op.imm] += 1;
+          stored_offsets[op.imm + 128] += 1;
+        }
+      }
+    }
+    const int expect_vectors = spec.ms * spec.vn();
+    EXPECT_EQ(static_cast<int>(stored_offsets.size()), expect_vectors);
+    for (const auto& [off, count] : stored_offsets) {
+      EXPECT_EQ(count, 1) << "offset " << off;
+      EXPECT_EQ(off % 128, 0);
+    }
+  }
+}
+
+TEST(Generator, LoadCVariantLoadsInsteadOfZeroing) {
+  const Program with_c = generate_microkernel({6, 64, 96, true}, mc());
+  const Program no_c = generate_microkernel({6, 64, 96, false}, mc());
+  auto count = [](const Program& p, Opcode op, std::uint8_t abase_filter,
+                  bool use_filter) {
+    int n = 0;
+    for (const auto& b : p.bundles)
+      for (const auto& in : b.ops)
+        if (in.op == op && (!use_filter || in.abase == abase_filter)) ++n;
+    return n;
+  };
+  // load_c: C loads from the C base; no VMOVI for bank 0.
+  EXPECT_GT(count(with_c, Opcode::VLDDW, kRegCBase, true) +
+                count(with_c, Opcode::VLDW, kRegCBase, true),
+            0);
+  EXPECT_EQ(count(no_c, Opcode::VLDDW, kRegCBase, true) +
+                count(no_c, Opcode::VLDW, kRegCBase, true),
+            0);
+  EXPECT_GT(count(no_c, Opcode::VMOVI, 0, false),
+            count(with_c, Opcode::VMOVI, 0, false));
+}
+
+TEST(Generator, DeterministicForSameSpec) {
+  const Program a = generate_microkernel({7, 213, 41}, mc());
+  const Program b = generate_microkernel({7, 213, 41}, mc());
+  ASSERT_EQ(a.bundles.size(), b.bundles.size());
+  EXPECT_EQ(a.disassemble(), b.disassemble());
+}
+
+TEST(Generator, NameEncodesShape) {
+  const Program p = generate_microkernel({9, 100, 72}, mc());
+  EXPECT_NE(p.name.find("ms9"), std::string::npos);
+  EXPECT_NE(p.name.find("ka100"), std::string::npos);
+  EXPECT_NE(p.name.find("na72"), std::string::npos);
+}
+
+TEST(Generator, InstructionEconomicsScaleLinearlyInKa) {
+  // Dynamic cycles should grow ~linearly with ka at fixed (ms, na): the
+  // kernel has no superlinear component.
+  MicroKernel k1({6, 128, 96}, mc());
+  MicroKernel k2({6, 256, 96}, mc());
+  MicroKernel k4({6, 512, 96}, mc());
+  const double r21 = static_cast<double>(k2.cycles()) / k1.cycles();
+  const double r42 = static_cast<double>(k4.cycles()) / k2.cycles();
+  EXPECT_NEAR(r21, 2.0, 0.25);
+  EXPECT_NEAR(r42, 2.0, 0.15);
+}
+
+}  // namespace
+}  // namespace ftm::kernelgen

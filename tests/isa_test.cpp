@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "ftm/isa/isa.hpp"
+#include "ftm/isa/machine.hpp"
+
+namespace ftm::isa {
+namespace {
+
+TEST(Machine, PaperPeakNumbers) {
+  const MachineConfig& mc = default_machine();
+  // Paper §II: 345.6 GFlops/core at 1.8 GHz, 2764.8 GFlops/cluster.
+  EXPECT_NEAR(mc.core_peak_gflops(), 345.6, 1e-9);
+  EXPECT_NEAR(mc.cluster_peak_gflops(), 2764.8, 1e-9);
+  EXPECT_EQ(mc.fp32_lanes, 32);
+  EXPECT_EQ(mc.peak_flops_per_cycle(), 192);
+}
+
+TEST(Machine, MemoryCapacities) {
+  const MachineConfig& mc = default_machine();
+  EXPECT_EQ(mc.sm_bytes, 64u * 1024);
+  EXPECT_EQ(mc.am_bytes, 768u * 1024);
+  EXPECT_EQ(mc.gsm_bytes, 6u * 1024 * 1024);
+}
+
+TEST(Machine, DdrBytesPerCycle) {
+  const MachineConfig& mc = default_machine();
+  // 42.6 GB/s at 1.8 GHz ~ 23.67 B/cycle.
+  EXPECT_NEAR(mc.ddr_bytes_per_cycle(), 42.6 / 1.8, 1e-9);
+}
+
+TEST(Isa, AdmissibleUnitsRespectSlotRoles) {
+  EXPECT_TRUE(admissible_units(Opcode::SLDW) & (1u << int(Unit::SLS1)));
+  EXPECT_FALSE(admissible_units(Opcode::SLDW) & (1u << int(Unit::VFMAC1)));
+  EXPECT_TRUE(admissible_units(Opcode::VFMULAS32) & (1u << int(Unit::VFMAC2)));
+  EXPECT_FALSE(admissible_units(Opcode::VFMULAS32) & (1u << int(Unit::SLS1)));
+  // Broadcasts are confined to one slot: the 2-scalars/cycle ceiling.
+  EXPECT_EQ(admissible_units(Opcode::SVBCAST), 1u << int(Unit::SFMAC2));
+  EXPECT_EQ(admissible_units(Opcode::SVBCAST2), 1u << int(Unit::SFMAC2));
+  EXPECT_EQ(admissible_units(Opcode::SBR), 1u << int(Unit::CU));
+}
+
+TEST(Isa, ScalarVectorUnitSplit) {
+  int scalar = 0, vector = 0;
+  for (int u = 0; u < kUnitCount; ++u) {
+    if (is_scalar_unit(static_cast<Unit>(u)))
+      ++scalar;
+    else
+      ++vector;
+  }
+  // 5 scalar + 6 vector slots = the IFU's 11 instructions/cycle (§II).
+  EXPECT_EQ(scalar, 5);
+  EXPECT_EQ(vector, 6);
+}
+
+TEST(Isa, LatenciesMatchConfig) {
+  const MachineConfig& mc = default_machine();
+  EXPECT_EQ(op_latency(Opcode::VFMULAS32, mc), mc.lat_vfmac);
+  EXPECT_EQ(op_latency(Opcode::VLDW, mc), mc.lat_vldw);
+  EXPECT_EQ(op_latency(Opcode::SBR, mc), mc.lat_sbr);
+  EXPECT_EQ(op_latency(Opcode::SVBCAST2, mc), mc.lat_bcast);
+}
+
+TEST(Isa, BundleRejectsDuplicateUnit) {
+  Bundle b;
+  Instr i1 = make_vfmulas32(0, 1, 2);
+  i1.unit = Unit::VFMAC1;
+  Instr i2 = make_vfmulas32(3, 4, 5);
+  i2.unit = Unit::VFMAC1;
+  b.ops = {i1, i2};
+  EXPECT_THROW(b.validate(), ContractViolation);
+  b.ops[1].unit = Unit::VFMAC2;
+  EXPECT_NO_THROW(b.validate());
+}
+
+TEST(Isa, BundleRejectsInadmissibleUnit) {
+  Bundle b;
+  Instr i = make_sldw(1, 0, 0);
+  i.unit = Unit::VFMAC1;
+  b.ops = {i};
+  EXPECT_THROW(b.validate(), ContractViolation);
+}
+
+TEST(Isa, ProgramValidatesBranchTargets) {
+  Program p;
+  p.name = "t";
+  Bundle b;
+  Instr br = make_sbr(3, 5);  // out of range
+  br.unit = Unit::CU;
+  b.ops = {br};
+  p.bundles = {b};
+  EXPECT_THROW(p.validate(), ContractViolation);
+  p.bundles[0].ops[0].imm = 0;
+  EXPECT_NO_THROW(p.validate());
+}
+
+TEST(Isa, DisassemblyMentionsOperands) {
+  const Instr i = make_vfmulas32(7, 8, 9);
+  const std::string s = i.to_text();
+  EXPECT_NE(s.find("VFMULAS32"), std::string::npos);
+  EXPECT_NE(s.find("V7"), std::string::npos);
+  EXPECT_NE(s.find("V8"), std::string::npos);
+}
+
+TEST(Isa, ProgramDisassemblyAndOpCount) {
+  Program p;
+  p.name = "demo";
+  Bundle b;
+  Instr i = make_smovi(3, 42);
+  i.unit = Unit::SIEU;
+  b.ops = {i};
+  p.bundles = {b, b};
+  EXPECT_EQ(p.op_count(), 2u);
+  EXPECT_NE(p.disassemble().find("SMOVI"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ftm::isa

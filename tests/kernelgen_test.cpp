@@ -1,0 +1,278 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "ftm/cpu/cpu_gemm.hpp"
+#include "ftm/kernelgen/generator.hpp"
+#include "ftm/kernelgen/microkernel.hpp"
+#include "ftm/kernelgen/spec.hpp"
+#include "ftm/sim/core.hpp"
+#include "ftm/util/prng.hpp"
+
+namespace ftm::kernelgen {
+namespace {
+
+const isa::MachineConfig& mc() { return isa::default_machine(); }
+
+TEST(Regime, SelectionByNa) {
+  EXPECT_EQ(regime_for(96), Regime::Wide);
+  EXPECT_EQ(regime_for(65), Regime::Wide);
+  EXPECT_EQ(regime_for(64), Regime::Medium);
+  EXPECT_EQ(regime_for(33), Regime::Medium);
+  EXPECT_EQ(regime_for(32), Regime::Narrow);
+  EXPECT_EQ(regime_for(1), Regime::Narrow);
+  EXPECT_THROW(regime_for(0), ContractViolation);
+  EXPECT_THROW(regime_for(97), ContractViolation);
+}
+
+TEST(Tiling, WideLargeMsUsesKu1) {
+  // Paper §IV-A2: ms >= t_fma and 64 < na <= 96 -> k_u = 1.
+  for (int ms : {6, 8, 10, 12}) {
+    const Tiling t = choose_tiling({ms, 512, 96}, mc());
+    EXPECT_EQ(t.ku, 1) << "ms=" << ms;
+    EXPECT_GE(t.ii, mc().lat_vfmac);
+  }
+}
+
+TEST(Tiling, WideSmallMsRaisesKu) {
+  // ms < t_fma -> k_u > 1 to refill the pipeline.
+  const Tiling t = choose_tiling({3, 512, 96}, mc());
+  EXPECT_GT(t.ku, 1);
+}
+
+TEST(Tiling, MediumUsesKu2AtMs6) {
+  // Table II: ms=6, na=64 -> mu=6, ku=2, II=8.
+  const Tiling t = choose_tiling({6, 512, 64}, mc());
+  EXPECT_EQ(t.ku, 2);
+  EXPECT_EQ(t.mu, 6);
+  EXPECT_EQ(t.ii, 8);
+}
+
+TEST(Tiling, NarrowIsBroadcastBound) {
+  // Table III: ms=6, na<=32 -> II set by the 2-scalars/cycle broadcast.
+  const Tiling t = choose_tiling({6, 512, 32}, mc());
+  EXPECT_EQ(t.ku, 2);
+  const double util = predicted_utilization({6, 512, 32}, t, mc());
+  EXPECT_NEAR(util, 2.0 / 3.0, 0.05);
+}
+
+TEST(Tiling, RegisterBudgetHolds) {
+  for (int ms : {1, 2, 4, 6, 8, 11, 14, 16}) {
+    for (int na : {8, 16, 32, 48, 64, 80, 96}) {
+      const KernelSpec s{ms, 256, na};
+      const Tiling t = choose_tiling(s, mc());
+      EXPECT_LE(vector_regs_needed(t, s.vn()), mc().vector_regs);
+      EXPECT_LE(t.mu, ms);
+      EXPECT_LE(t.ku, 4);
+    }
+  }
+}
+
+TEST(UpperBound, MatchesPaperSection4A3) {
+  EXPECT_DOUBLE_EQ(upper_bound_utilization(96, mc()), 1.0);
+  EXPECT_DOUBLE_EQ(upper_bound_utilization(48, mc()), 1.0);
+  EXPECT_NEAR(upper_bound_utilization(32, mc()), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(upper_bound_utilization(8, mc()), 2.0 / 3.0, 1e-12);
+}
+
+TEST(Generator, ProgramValidates) {
+  for (int na : {96, 64, 32, 17}) {
+    const isa::Program p = generate_microkernel({6, 64, na}, mc());
+    EXPECT_NO_THROW(p.validate());
+    EXPECT_GT(p.bundles.size(), 0u);
+  }
+}
+
+TEST(Generator, ContainsLoopForLongK) {
+  const isa::Program p = generate_microkernel({6, 512, 96}, mc());
+  bool has_sbr = false;
+  for (const auto& b : p.bundles)
+    for (const auto& op : b.ops)
+      if (op.op == isa::Opcode::SBR) has_sbr = true;
+  EXPECT_TRUE(has_sbr);
+}
+
+TEST(Generator, ShortKIsStraightLine) {
+  const isa::Program p = generate_microkernel({6, 2, 96}, mc());
+  for (const auto& b : p.bundles)
+    for (const auto& op : b.ops) EXPECT_NE(op.op, isa::Opcode::SBR);
+}
+
+// --- Functional correctness of generated kernels ----------------------------
+
+/// Runs the kernel on the detailed core model against random operands and
+/// compares with the reference GEMM.
+void check_kernel(const KernelSpec& spec) {
+  SCOPED_TRACE("ms=" + std::to_string(spec.ms) + " ka=" +
+               std::to_string(spec.ka) + " na=" + std::to_string(spec.na));
+  MicroKernel uk(spec, mc());
+  sim::DspCore core(mc());
+  const auto a = core.sm().alloc(spec.a_bytes());
+  const auto b = core.am().alloc(spec.b_bytes());
+  const auto c = core.am().alloc(spec.c_bytes());
+  const int ld = spec.am_row_floats();
+
+  Prng rng(spec.ms * 1000003 + spec.ka * 97 + spec.na);
+  HostMatrix ha(spec.ms, spec.ka), hb(spec.ka, spec.na), hc(spec.ms, spec.na);
+  ha.fill_random(rng);
+  hb.fill_random(rng);
+  hc.fill_random(rng);
+
+  float* am_a = core.sm().f32(a.offset, spec.ms * spec.ka);
+  std::memcpy(am_a, ha.data(), spec.a_bytes());
+  float* am_b = core.am().f32(b.offset, spec.ka * ld);
+  float* am_c = core.am().f32(c.offset, spec.ms * ld);
+  for (int r = 0; r < spec.ka; ++r)
+    for (int x = 0; x < spec.na; ++x) am_b[r * ld + x] = hb.at(r, x);
+  for (int r = 0; r < spec.ms; ++r)
+    for (int x = 0; x < spec.na; ++x) am_c[r * ld + x] = hc.at(r, x);
+
+  const sim::ExecResult res =
+      uk.run_detailed(core, a.offset, b.offset, c.offset);
+  EXPECT_EQ(res.vfmac_ops * 64 + 0u, res.flops);
+
+  // Reference.
+  HostMatrix expect(spec.ms, spec.na);
+  for (int r = 0; r < spec.ms; ++r)
+    for (int x = 0; x < spec.na; ++x)
+      expect.at(r, x) = spec.load_c ? hc.at(r, x) : 0.0f;
+  cpu::reference_gemm(ha.view(), hb.view(), expect.view());
+
+  double worst = 0;
+  for (int r = 0; r < spec.ms; ++r) {
+    for (int x = 0; x < spec.na; ++x) {
+      const double d = std::abs(am_c[r * ld + x] - expect.at(r, x));
+      const double denom = std::max(1.0, std::abs(double(expect.at(r, x))));
+      worst = std::max(worst, d / denom);
+    }
+  }
+  EXPECT_LT(worst, gemm_tolerance(spec.ka));
+}
+
+struct ShapeCase {
+  int ms, ka, na;
+};
+
+class KernelCorrectness : public ::testing::TestWithParam<ShapeCase> {};
+
+TEST_P(KernelCorrectness, MatchesReference) {
+  const ShapeCase s = GetParam();
+  check_kernel({s.ms, s.ka, s.na, /*load_c=*/true});
+}
+
+TEST_P(KernelCorrectness, ZeroInitVariantMatchesReference) {
+  const ShapeCase s = GetParam();
+  check_kernel({s.ms, s.ka, s.na, /*load_c=*/false});
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapeSweep, KernelCorrectness,
+    ::testing::Values(
+        // Wide regime (Table I territory).
+        ShapeCase{6, 512, 96}, ShapeCase{8, 512, 96}, ShapeCase{11, 256, 96},
+        ShapeCase{1, 32, 96}, ShapeCase{3, 33, 96}, ShapeCase{6, 32, 96},
+        ShapeCase{16, 128, 96}, ShapeCase{6, 128, 80}, ShapeCase{7, 65, 72},
+        // Medium regime (Table II).
+        ShapeCase{6, 512, 64}, ShapeCase{8, 512, 64}, ShapeCase{12, 256, 64},
+        ShapeCase{6, 32, 64}, ShapeCase{5, 31, 48}, ShapeCase{6, 64, 33},
+        ShapeCase{14, 128, 64},
+        // Narrow regime (Table III).
+        ShapeCase{6, 512, 32}, ShapeCase{8, 512, 32}, ShapeCase{9, 256, 32},
+        ShapeCase{6, 32, 32}, ShapeCase{6, 32, 16}, ShapeCase{4, 100, 8},
+        ShapeCase{1, 7, 1}, ShapeCase{2, 3, 32}, ShapeCase{16, 64, 24},
+        // Odd/remainder ka values exercising peel + epilogue paths.
+        ShapeCase{6, 129, 96}, ShapeCase{6, 127, 64}, ShapeCase{6, 511, 32},
+        ShapeCase{8, 5, 32}, ShapeCase{10, 1, 96}, ShapeCase{6, 2, 64}));
+
+TEST(FastPath, BitIdenticalToDetailed) {
+  for (const ShapeCase s : {ShapeCase{6, 512, 96}, ShapeCase{8, 257, 64},
+                            ShapeCase{6, 96, 32}, ShapeCase{11, 33, 96},
+                            ShapeCase{9, 128, 17}}) {
+    SCOPED_TRACE("ms=" + std::to_string(s.ms) + " ka=" + std::to_string(s.ka) +
+                 " na=" + std::to_string(s.na));
+    const KernelSpec spec{s.ms, s.ka, s.na};
+    MicroKernel uk(spec, mc());
+    sim::DspCore core(mc());
+    const auto a = core.sm().alloc(spec.a_bytes());
+    const auto b = core.am().alloc(spec.b_bytes());
+    const auto c = core.am().alloc(spec.c_bytes());
+    const int ld = spec.am_row_floats();
+
+    Prng rng(999 + s.ms);
+    std::vector<float> fa(spec.ms * spec.ka), fb(spec.ka * ld),
+        fc(spec.ms * ld);
+    for (auto& v : fa) v = rng.next_float(-1, 1);
+    for (auto& v : fb) v = rng.next_float(-1, 1);
+    for (auto& v : fc) v = rng.next_float(-1, 1);
+
+    std::memcpy(core.sm().f32(a.offset, fa.size()), fa.data(),
+                fa.size() * 4);
+    std::memcpy(core.am().f32(b.offset, fb.size()), fb.data(),
+                fb.size() * 4);
+    std::memcpy(core.am().f32(c.offset, fc.size()), fc.data(),
+                fc.size() * 4);
+
+    uk.run_detailed(core, a.offset, b.offset, c.offset);
+    const std::uint64_t fast_cycles =
+        uk.run_fast(fa.data(), fb.data(), fc.data());
+
+    EXPECT_EQ(fast_cycles, uk.cycles());
+    const float* detailed = core.am().f32(c.offset, fc.size());
+    for (std::size_t i = 0; i < fc.size(); ++i) {
+      ASSERT_EQ(fc[i], detailed[i]) << "element " << i;
+    }
+  }
+}
+
+TEST(FastPath, CyclesCountWholeProgram) {
+  const KernelSpec spec{6, 512, 96};
+  MicroKernel uk(spec, mc());
+  // Sanity: cost covers at least the FMAC issue bound.
+  const std::uint64_t min_cycles =
+      static_cast<std::uint64_t>(spec.ms) * spec.ka * spec.vn() / 3;
+  EXPECT_GE(uk.cycles(), min_cycles);
+}
+
+TEST(Efficiency, WideKernelNearPeakForLongK) {
+  MicroKernel uk({8, 512, 96}, mc());
+  // Paper Fig. 3(a): up to ~98% at N=96, K=512; our schedule should land
+  // comfortably above 85%.
+  EXPECT_GT(uk.efficiency(), 0.85) << uk.calibration().stall_cycles;
+  EXPECT_LE(uk.efficiency(), 1.0);
+}
+
+TEST(Efficiency, MediumKernelNearPeak) {
+  MicroKernel uk({6, 512, 64}, mc());
+  EXPECT_GT(uk.efficiency(), 0.80);
+}
+
+TEST(Efficiency, NarrowKernelNearTwoThirdsBound) {
+  MicroKernel uk({6, 512, 32}, mc());
+  EXPECT_GT(uk.efficiency(), 0.50);
+  EXPECT_LE(uk.efficiency(), 2.0 / 3.0 + 1e-9);
+}
+
+TEST(Efficiency, ShortKIsLower) {
+  MicroKernel long_k({8, 512, 96}, mc());
+  MicroKernel short_k({8, 32, 96}, mc());
+  EXPECT_LT(short_k.efficiency(), long_k.efficiency());
+  EXPECT_GT(short_k.efficiency(), 0.3);  // Fig. 3(d): 77.4% at best
+}
+
+TEST(Cache, MemoizesBySpec) {
+  KernelCache cache(mc());
+  const MicroKernel& a = cache.get({6, 128, 96});
+  const MicroKernel& b = cache.get({6, 128, 96});
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(cache.generated(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+  cache.get({6, 128, 64});
+  EXPECT_EQ(cache.generated(), 2u);
+  // load_c variants are distinct programs.
+  cache.get({6, 128, 96, false});
+  EXPECT_EQ(cache.generated(), 3u);
+}
+
+}  // namespace
+}  // namespace ftm::kernelgen

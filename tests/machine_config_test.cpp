@@ -1,0 +1,98 @@
+// The machine description is a parameter, not a constant: the whole stack
+// (tiling, generation, blocking, strategies) must remain correct on
+// modified hardware configurations — the basis of the sensitivity study.
+#include <gtest/gtest.h>
+
+#include "ftm/core/ftimm.hpp"
+#include "ftm/cpu/cpu_gemm.hpp"
+#include "ftm/workload/generators.hpp"
+
+namespace ftm {
+namespace {
+
+using core::FtimmEngine;
+using core::FtimmOptions;
+using core::GemmInput;
+
+void check_engine(const isa::MachineConfig& mc, const char* label) {
+  SCOPED_TRACE(label);
+  FtimmEngine eng(mc);
+  workload::GemmProblem p = workload::make_problem(1024, 32, 200, 77);
+  HostMatrix expect(1024, 32);
+  for (std::size_t i = 0; i < 1024; ++i)
+    for (std::size_t j = 0; j < 32; ++j) expect.at(i, j) = p.c.at(i, j);
+  cpu::reference_gemm(p.a.view(), p.b.view(), expect.view());
+  const auto r = eng.sgemm(
+      GemmInput::bound(p.a.view(), p.b.view(), p.c.view()));
+  EXPECT_LT(max_rel_diff(p.c.view(), expect.view()), gemm_tolerance(200));
+  EXPECT_GT(r.gflops, 0.0);
+}
+
+TEST(MachineConfig, SmallerScratchpadsStillCorrect) {
+  isa::MachineConfig mc;
+  mc.am_bytes = 256 * 1024;
+  mc.sm_bytes = 32 * 1024;
+  mc.gsm_bytes = 2 * 1024 * 1024;
+  check_engine(mc, "small scratchpads");
+}
+
+TEST(MachineConfig, ScaledBandwidthStillCorrect) {
+  isa::MachineConfig mc;
+  mc.ddr_bytes_per_sec *= 4.0;
+  check_engine(mc, "4x bandwidth");
+  isa::MachineConfig slow;
+  slow.ddr_bytes_per_sec *= 0.25;
+  check_engine(slow, "quarter bandwidth");
+}
+
+TEST(MachineConfig, LongerLatenciesStillCorrect) {
+  isa::MachineConfig mc;
+  mc.lat_vfmac = 10;
+  mc.lat_vldw = 8;
+  mc.lat_sldw = 6;
+  check_engine(mc, "longer latencies");
+}
+
+TEST(MachineConfig, FewerCoresPerCluster) {
+  isa::MachineConfig mc;
+  mc.cores_per_cluster = 4;
+  FtimmEngine eng(mc);
+  FtimmOptions opt;
+  opt.cores = 4;
+  opt.functional = false;
+  const auto r = eng.sgemm(GemmInput::shape_only(4096, 32, 32), opt);
+  EXPECT_GT(r.gflops, 0.0);
+  EXPECT_THROW(
+      [&] {
+        FtimmOptions bad;
+        bad.cores = 8;
+        eng.sgemm(GemmInput::shape_only(64, 32, 32), bad);
+      }(),
+      ContractViolation);
+}
+
+TEST(MachineConfig, BandwidthMonotonicallyHelpsMemoryBoundShapes) {
+  FtimmOptions opt;
+  opt.functional = false;
+  double prev = 0;
+  for (double scale : {0.5, 1.0, 2.0, 4.0}) {
+    isa::MachineConfig mc;
+    mc.ddr_bytes_per_sec *= scale;
+    FtimmEngine eng(mc);
+    const auto r = eng.sgemm(GemmInput::shape_only(1 << 16, 32, 32), opt);
+    EXPECT_GT(r.gflops, prev);
+    prev = r.gflops;
+  }
+}
+
+TEST(MachineConfig, HigherFmacLatencyNeverSpeedsKernelsUp) {
+  isa::MachineConfig fast;
+  isa::MachineConfig slow;
+  slow.lat_vfmac = 12;
+  kernelgen::MicroKernel a({8, 256, 96}, fast);
+  kernelgen::MicroKernel b({8, 256, 96}, slow);
+  EXPECT_LE(a.cycles(), b.cycles());
+}
+
+}  // namespace
+}  // namespace ftm
