@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_pingpong.cpp" "bench/CMakeFiles/bench_ablation_pingpong.dir/bench_ablation_pingpong.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_pingpong.dir/bench_ablation_pingpong.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ftimm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ftm_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ftm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernelgen/CMakeFiles/ftm_kernelgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ftm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/ftm_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

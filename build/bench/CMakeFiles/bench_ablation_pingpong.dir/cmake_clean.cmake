@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_pingpong.dir/bench_ablation_pingpong.cpp.o"
+  "CMakeFiles/bench_ablation_pingpong.dir/bench_ablation_pingpong.cpp.o.d"
+  "bench_ablation_pingpong"
+  "bench_ablation_pingpong.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_pingpong.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_batched.dir/bench_batched.cpp.o"
+  "CMakeFiles/bench_batched.dir/bench_batched.cpp.o.d"
+  "bench_batched"
+  "bench_batched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_batched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cpu_vs_dsp.dir/bench_cpu_vs_dsp.cpp.o"
+  "CMakeFiles/bench_cpu_vs_dsp.dir/bench_cpu_vs_dsp.cpp.o.d"
+  "bench_cpu_vs_dsp"
+  "bench_cpu_vs_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cpu_vs_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gbench_components.dir/bench_gbench_components.cpp.o"
+  "CMakeFiles/bench_gbench_components.dir/bench_gbench_components.cpp.o.d"
+  "bench_gbench_components"
+  "bench_gbench_components.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gbench_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pipeline_tables.dir/bench_pipeline_tables.cpp.o"
+  "CMakeFiles/bench_pipeline_tables.dir/bench_pipeline_tables.cpp.o.d"
+  "bench_pipeline_tables"
+  "bench_pipeline_tables.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pipeline_tables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

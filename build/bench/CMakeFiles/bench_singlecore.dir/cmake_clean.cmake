@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_singlecore.dir/bench_singlecore.cpp.o"
+  "CMakeFiles/bench_singlecore.dir/bench_singlecore.cpp.o.d"
+  "bench_singlecore"
+  "bench_singlecore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_singlecore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conv_im2col.dir/conv_im2col.cpp.o"
+  "CMakeFiles/conv_im2col.dir/conv_im2col.cpp.o.d"
+  "conv_im2col"
+  "conv_im2col.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conv_im2col.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

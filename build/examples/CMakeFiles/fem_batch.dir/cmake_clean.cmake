@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fem_batch.dir/fem_batch.cpp.o"
+  "CMakeFiles/fem_batch.dir/fem_batch.cpp.o.d"
+  "fem_batch"
+  "fem_batch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fem_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/src/batched.cpp" "src/core/CMakeFiles/ftimm_core.dir/src/batched.cpp.o" "gcc" "src/core/CMakeFiles/ftimm_core.dir/src/batched.cpp.o.d"
+  "/root/repo/src/core/src/blocking.cpp" "src/core/CMakeFiles/ftimm_core.dir/src/blocking.cpp.o" "gcc" "src/core/CMakeFiles/ftimm_core.dir/src/blocking.cpp.o.d"
+  "/root/repo/src/core/src/dgemm.cpp" "src/core/CMakeFiles/ftimm_core.dir/src/dgemm.cpp.o" "gcc" "src/core/CMakeFiles/ftimm_core.dir/src/dgemm.cpp.o.d"
+  "/root/repo/src/core/src/ftimm.cpp" "src/core/CMakeFiles/ftimm_core.dir/src/ftimm.cpp.o" "gcc" "src/core/CMakeFiles/ftimm_core.dir/src/ftimm.cpp.o.d"
+  "/root/repo/src/core/src/roofline.cpp" "src/core/CMakeFiles/ftimm_core.dir/src/roofline.cpp.o" "gcc" "src/core/CMakeFiles/ftimm_core.dir/src/roofline.cpp.o.d"
+  "/root/repo/src/core/src/strategy_k.cpp" "src/core/CMakeFiles/ftimm_core.dir/src/strategy_k.cpp.o" "gcc" "src/core/CMakeFiles/ftimm_core.dir/src/strategy_k.cpp.o.d"
+  "/root/repo/src/core/src/strategy_m.cpp" "src/core/CMakeFiles/ftimm_core.dir/src/strategy_m.cpp.o" "gcc" "src/core/CMakeFiles/ftimm_core.dir/src/strategy_m.cpp.o.d"
+  "/root/repo/src/core/src/tgemm.cpp" "src/core/CMakeFiles/ftimm_core.dir/src/tgemm.cpp.o" "gcc" "src/core/CMakeFiles/ftimm_core.dir/src/tgemm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kernelgen/CMakeFiles/ftm_kernelgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ftm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/ftm_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ftm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

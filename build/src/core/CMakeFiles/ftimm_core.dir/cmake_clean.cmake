@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftimm_core.dir/src/batched.cpp.o"
+  "CMakeFiles/ftimm_core.dir/src/batched.cpp.o.d"
+  "CMakeFiles/ftimm_core.dir/src/blocking.cpp.o"
+  "CMakeFiles/ftimm_core.dir/src/blocking.cpp.o.d"
+  "CMakeFiles/ftimm_core.dir/src/dgemm.cpp.o"
+  "CMakeFiles/ftimm_core.dir/src/dgemm.cpp.o.d"
+  "CMakeFiles/ftimm_core.dir/src/ftimm.cpp.o"
+  "CMakeFiles/ftimm_core.dir/src/ftimm.cpp.o.d"
+  "CMakeFiles/ftimm_core.dir/src/roofline.cpp.o"
+  "CMakeFiles/ftimm_core.dir/src/roofline.cpp.o.d"
+  "CMakeFiles/ftimm_core.dir/src/strategy_k.cpp.o"
+  "CMakeFiles/ftimm_core.dir/src/strategy_k.cpp.o.d"
+  "CMakeFiles/ftimm_core.dir/src/strategy_m.cpp.o"
+  "CMakeFiles/ftimm_core.dir/src/strategy_m.cpp.o.d"
+  "CMakeFiles/ftimm_core.dir/src/tgemm.cpp.o"
+  "CMakeFiles/ftimm_core.dir/src/tgemm.cpp.o.d"
+  "libftimm_core.a"
+  "libftimm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftimm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

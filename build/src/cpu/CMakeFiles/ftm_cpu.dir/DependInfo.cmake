@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpu/src/cpu_gemm.cpp" "src/cpu/CMakeFiles/ftm_cpu.dir/src/cpu_gemm.cpp.o" "gcc" "src/cpu/CMakeFiles/ftm_cpu.dir/src/cpu_gemm.cpp.o.d"
+  "/root/repo/src/cpu/src/peak.cpp" "src/cpu/CMakeFiles/ftm_cpu.dir/src/peak.cpp.o" "gcc" "src/cpu/CMakeFiles/ftm_cpu.dir/src/peak.cpp.o.d"
+  "/root/repo/src/cpu/src/thread_pool.cpp" "src/cpu/CMakeFiles/ftm_cpu.dir/src/thread_pool.cpp.o" "gcc" "src/cpu/CMakeFiles/ftm_cpu.dir/src/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ftm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftm_cpu.dir/src/cpu_gemm.cpp.o"
+  "CMakeFiles/ftm_cpu.dir/src/cpu_gemm.cpp.o.d"
+  "CMakeFiles/ftm_cpu.dir/src/peak.cpp.o"
+  "CMakeFiles/ftm_cpu.dir/src/peak.cpp.o.d"
+  "CMakeFiles/ftm_cpu.dir/src/thread_pool.cpp.o"
+  "CMakeFiles/ftm_cpu.dir/src/thread_pool.cpp.o.d"
+  "libftm_cpu.a"
+  "libftm_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftm_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftm_isa.dir/src/isa.cpp.o"
+  "CMakeFiles/ftm_isa.dir/src/isa.cpp.o.d"
+  "libftm_isa.a"
+  "libftm_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftm_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

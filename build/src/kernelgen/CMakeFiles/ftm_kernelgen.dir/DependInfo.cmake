@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernelgen/src/generator.cpp" "src/kernelgen/CMakeFiles/ftm_kernelgen.dir/src/generator.cpp.o" "gcc" "src/kernelgen/CMakeFiles/ftm_kernelgen.dir/src/generator.cpp.o.d"
+  "/root/repo/src/kernelgen/src/microkernel.cpp" "src/kernelgen/CMakeFiles/ftm_kernelgen.dir/src/microkernel.cpp.o" "gcc" "src/kernelgen/CMakeFiles/ftm_kernelgen.dir/src/microkernel.cpp.o.d"
+  "/root/repo/src/kernelgen/src/scheduler.cpp" "src/kernelgen/CMakeFiles/ftm_kernelgen.dir/src/scheduler.cpp.o" "gcc" "src/kernelgen/CMakeFiles/ftm_kernelgen.dir/src/scheduler.cpp.o.d"
+  "/root/repo/src/kernelgen/src/spec.cpp" "src/kernelgen/CMakeFiles/ftm_kernelgen.dir/src/spec.cpp.o" "gcc" "src/kernelgen/CMakeFiles/ftm_kernelgen.dir/src/spec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/ftm_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ftm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ftm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

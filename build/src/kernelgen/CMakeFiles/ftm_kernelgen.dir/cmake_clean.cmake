@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftm_kernelgen.dir/src/generator.cpp.o"
+  "CMakeFiles/ftm_kernelgen.dir/src/generator.cpp.o.d"
+  "CMakeFiles/ftm_kernelgen.dir/src/microkernel.cpp.o"
+  "CMakeFiles/ftm_kernelgen.dir/src/microkernel.cpp.o.d"
+  "CMakeFiles/ftm_kernelgen.dir/src/scheduler.cpp.o"
+  "CMakeFiles/ftm_kernelgen.dir/src/scheduler.cpp.o.d"
+  "CMakeFiles/ftm_kernelgen.dir/src/spec.cpp.o"
+  "CMakeFiles/ftm_kernelgen.dir/src/spec.cpp.o.d"
+  "libftm_kernelgen.a"
+  "libftm_kernelgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftm_kernelgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/src/cluster.cpp" "src/sim/CMakeFiles/ftm_sim.dir/src/cluster.cpp.o" "gcc" "src/sim/CMakeFiles/ftm_sim.dir/src/cluster.cpp.o.d"
+  "/root/repo/src/sim/src/core.cpp" "src/sim/CMakeFiles/ftm_sim.dir/src/core.cpp.o" "gcc" "src/sim/CMakeFiles/ftm_sim.dir/src/core.cpp.o.d"
+  "/root/repo/src/sim/src/dma.cpp" "src/sim/CMakeFiles/ftm_sim.dir/src/dma.cpp.o" "gcc" "src/sim/CMakeFiles/ftm_sim.dir/src/dma.cpp.o.d"
+  "/root/repo/src/sim/src/scratchpad.cpp" "src/sim/CMakeFiles/ftm_sim.dir/src/scratchpad.cpp.o" "gcc" "src/sim/CMakeFiles/ftm_sim.dir/src/scratchpad.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/ftm_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ftm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftm_sim.dir/src/cluster.cpp.o"
+  "CMakeFiles/ftm_sim.dir/src/cluster.cpp.o.d"
+  "CMakeFiles/ftm_sim.dir/src/core.cpp.o"
+  "CMakeFiles/ftm_sim.dir/src/core.cpp.o.d"
+  "CMakeFiles/ftm_sim.dir/src/dma.cpp.o"
+  "CMakeFiles/ftm_sim.dir/src/dma.cpp.o.d"
+  "CMakeFiles/ftm_sim.dir/src/scratchpad.cpp.o"
+  "CMakeFiles/ftm_sim.dir/src/scratchpad.cpp.o.d"
+  "libftm_sim.a"
+  "libftm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftm_util.dir/src/cli.cpp.o"
+  "CMakeFiles/ftm_util.dir/src/cli.cpp.o.d"
+  "CMakeFiles/ftm_util.dir/src/matrix.cpp.o"
+  "CMakeFiles/ftm_util.dir/src/matrix.cpp.o.d"
+  "CMakeFiles/ftm_util.dir/src/reporter.cpp.o"
+  "CMakeFiles/ftm_util.dir/src/reporter.cpp.o.d"
+  "CMakeFiles/ftm_util.dir/src/stats.cpp.o"
+  "CMakeFiles/ftm_util.dir/src/stats.cpp.o.d"
+  "libftm_util.a"
+  "libftm_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftm_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftm_workload.dir/src/generators.cpp.o"
+  "CMakeFiles/ftm_workload.dir/src/generators.cpp.o.d"
+  "CMakeFiles/ftm_workload.dir/src/sweeps.cpp.o"
+  "CMakeFiles/ftm_workload.dir/src/sweeps.cpp.o.d"
+  "libftm_workload.a"
+  "libftm_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftm_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/batched_test.cpp" "tests/CMakeFiles/batched_test.dir/batched_test.cpp.o" "gcc" "tests/CMakeFiles/batched_test.dir/batched_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ftimm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/ftm_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ftm_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernelgen/CMakeFiles/ftm_kernelgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ftm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/ftm_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ftm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batched_test.dir/batched_test.cpp.o"
+  "CMakeFiles/batched_test.dir/batched_test.cpp.o.d"
+  "batched_test"
+  "batched_test.pdb"
+  "batched_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batched_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

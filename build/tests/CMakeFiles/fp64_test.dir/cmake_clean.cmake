@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fp64_test.dir/fp64_test.cpp.o"
+  "CMakeFiles/fp64_test.dir/fp64_test.cpp.o.d"
+  "fp64_test"
+  "fp64_test.pdb"
+  "fp64_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fp64_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

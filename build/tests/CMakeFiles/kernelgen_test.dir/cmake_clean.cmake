@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernelgen_test.dir/kernelgen_test.cpp.o"
+  "CMakeFiles/kernelgen_test.dir/kernelgen_test.cpp.o.d"
+  "kernelgen_test"
+  "kernelgen_test.pdb"
+  "kernelgen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernelgen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
