@@ -1,0 +1,69 @@
+// Runtime benchmark: aggregate throughput of the multi-cluster GEMM
+// runtime versus offered load. Each batch mixes wide irregular problems
+// (whole-cluster phases) with many small ones (one core each); the sweep
+// scales the batch size and the cluster count so the CSV shows how close
+// N clusters get to N-fold single-cluster throughput.
+#include <cstdio>
+#include <vector>
+
+#include "ftm/runtime/runtime.hpp"
+#include "ftm/util/reporter.hpp"
+
+using namespace ftm;
+using core::FtimmOptions;
+using core::GemmInput;
+using runtime::BatchResult;
+using runtime::GemmRuntime;
+using runtime::RuntimeOptions;
+
+namespace {
+
+// One "unit" of offered load: a wide skinny-tall problem plus a handful
+// of FEM-sized smalls, mirroring the mixed serving traffic the runtime
+// is built for.
+std::vector<GemmInput> make_batch(std::size_t units) {
+  std::vector<GemmInput> b;
+  for (std::size_t u = 0; u < units; ++u) {
+    b.push_back(GemmInput::shape_only(20480, 96, 2048));
+    for (int i = 0; i < 8; ++i) {
+      b.push_back(GemmInput::shape_only(512, 16, 32));
+    }
+  }
+  return b;
+}
+
+}  // namespace
+
+int main() {
+  FtimmOptions opt;
+  opt.functional = false;
+
+  Table t({"clusters", "batch", "problems", "wide", "small", "makespan ms",
+           "GFlops", "speedup vs 1"});
+  for (std::size_t units : {1, 2, 4, 8, 16}) {
+    const std::vector<GemmInput> batch = make_batch(units);
+    double base_seconds = 0.0;
+    for (int clusters = 1; clusters <= 4; ++clusters) {
+      RuntimeOptions ro;
+      ro.clusters = clusters;
+      ro.gemm = opt;
+      ro.keep_request_log = false;
+      GemmRuntime rt(ro);
+      const BatchResult br = rt.run_all(batch, opt);
+      if (clusters == 1) base_seconds = br.seconds;
+      t.begin_row()
+          .cell(clusters)
+          .cell(units)
+          .cell(br.problems)
+          .cell(br.wide_problems)
+          .cell(br.small_problems)
+          .cell(br.seconds * 1e3, 3)
+          .cell(br.gflops, 1)
+          .cell(base_seconds / br.seconds, 2);
+    }
+  }
+  t.print("Multi-cluster runtime: throughput vs offered load");
+  t.write_csv("runtime.csv");
+  std::printf("CSV written to runtime.csv\n");
+  return 0;
+}

@@ -26,12 +26,14 @@ struct BatchedResult {
   std::size_t small_problems = 0;  ///< ran core-parallel across the batch
 };
 
-/// Flops above which a single problem occupies the whole cluster instead
-/// of one core of the batch-parallel phase.
-constexpr double kWideProblemFlops = 256.0 * 1024 * 1024;
-
 /// Executes every problem (C += A*B each); returns the batch makespan on
-/// the simulated cluster. Functional mode writes every problem's C.
+/// the simulated cluster. Functional mode writes every problem's C. The
+/// wide/small split point is FtimmOptions::wide_problem_flops (rejected
+/// when <= 0).
+///
+/// Implemented in ftm_runtime: this entry point is now a thin client of a
+/// single-cluster GemmRuntime (runtime/runtime.hpp), which owns the
+/// wide-serial + small-core-parallel scheduling model. Link ftm_runtime.
 BatchedResult sgemm_batched(FtimmEngine& engine,
                             std::span<const GemmInput> problems,
                             const FtimmOptions& opt = {});

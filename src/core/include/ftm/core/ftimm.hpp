@@ -12,6 +12,8 @@
 // achieved GFlops on the modeled FT-m7032 GPDSP cluster.
 #pragma once
 
+#include <memory>
+
 #include "ftm/core/blocking.hpp"
 #include "ftm/core/roofline.hpp"
 #include "ftm/core/strategies.hpp"
@@ -21,12 +23,41 @@
 
 namespace ftm::core {
 
+/// Everything sgemm() decides before touching data: the strategy picked by
+/// the shape dispatcher and the dynamically adjusted block configuration.
+/// Plans are immutable and shape-keyed, so a runtime can cache them and
+/// replay a GEMM with sgemm_planned() without re-running choose_strategy or
+/// the block adjuster (the micro-kernels a plan needs are memoized
+/// separately in the engine's KernelCache, which plans share by shape).
+struct GemmPlan {
+  Strategy strategy = Strategy::Auto;
+  MBlocks mblocks;   ///< meaningful when strategy == ParallelM
+  KBlocks kblocks;   ///< meaningful when strategy == ParallelK
+  TBlocks tblocks;   ///< meaningful when strategy == TGemm
+  int cores = 8;     ///< core count the blocks were adjusted for
+};
+
 class FtimmEngine {
  public:
   explicit FtimmEngine(const isa::MachineConfig& mc = isa::default_machine());
+  /// Shares a (thread-safe) kernel cache with other engines, so a
+  /// multi-cluster runtime generates+calibrates each micro-kernel once.
+  FtimmEngine(const isa::MachineConfig& mc,
+              std::shared_ptr<kernelgen::KernelCache> kernels);
 
   /// ftIMM: dynamic strategy + block selection (§IV-C), then execution.
+  /// Equivalent to sgemm_planned(in, plan(in.m, in.n, in.k, opt), opt).
   GemmResult sgemm(const GemmInput& in, const FtimmOptions& opt = {});
+
+  /// The decision half of sgemm(): strategy + adjusted blocks for a shape.
+  GemmPlan plan(std::size_t m, std::size_t n, std::size_t k,
+                const FtimmOptions& opt = {}) const;
+
+  /// The execution half of sgemm(): runs a previously computed (possibly
+  /// cached) plan. The plan must have been built for the same shape and
+  /// opt.cores, otherwise block capacity checks may reject it.
+  GemmResult sgemm_planned(const GemmInput& in, const GemmPlan& plan,
+                           const FtimmOptions& opt = {});
 
   /// The TGEMM baseline (Algorithm 1) with its fixed blocks.
   GemmResult tgemm(const GemmInput& in, const FtimmOptions& opt = {});
@@ -52,13 +83,16 @@ class FtimmEngine {
   }
 
   sim::Cluster& cluster() { return cluster_; }
-  kernelgen::KernelCache& kernels() { return cache_; }
+  kernelgen::KernelCache& kernels() { return *cache_; }
+  std::shared_ptr<kernelgen::KernelCache> shared_kernels() const {
+    return cache_;
+  }
   const isa::MachineConfig& machine() const { return mc_; }
 
  private:
   isa::MachineConfig mc_;
   sim::Cluster cluster_;
-  kernelgen::KernelCache cache_;
+  std::shared_ptr<kernelgen::KernelCache> cache_;
   MBlocks mblocks0_;
   KBlocks kblocks0_;
   TBlocks tblocks_;

@@ -63,6 +63,10 @@ struct FtimmOptions {
   /// paper's scheme, cost linear in cores); true = pairwise tree across
   /// cores (log2(cores) rounds) — an extension/ablation.
   bool tree_reduction = false;
+  /// Batched/runtime scheduling: flops at or above which one problem
+  /// occupies a whole cluster (and may be sharded across clusters) instead
+  /// of sharing it with other problems of the batch. Must be > 0.
+  double wide_problem_flops = 256.0 * 1024 * 1024;
 };
 
 /// What a simulated GEMM cost.

@@ -15,11 +15,17 @@ const char* to_string(Strategy s) {
 }
 
 FtimmEngine::FtimmEngine(const isa::MachineConfig& mc)
+    : FtimmEngine(mc, std::make_shared<kernelgen::KernelCache>(mc)) {}
+
+FtimmEngine::FtimmEngine(const isa::MachineConfig& mc,
+                         std::shared_ptr<kernelgen::KernelCache> kernels)
     : mc_(mc),
       cluster_(mc),
-      cache_(mc),
+      cache_(std::move(kernels)),
       mblocks0_(initial_m_blocks(mc)),
-      kblocks0_(initial_k_blocks(mc)) {}
+      kblocks0_(initial_k_blocks(mc)) {
+  FTM_EXPECTS(cache_ != nullptr);
+}
 
 Strategy FtimmEngine::choose_strategy(std::size_t m, std::size_t n,
                                       std::size_t k) const {
@@ -49,24 +55,42 @@ KBlocks FtimmEngine::k_blocks_for(std::size_t m, std::size_t n,
                  : kblocks0_;
 }
 
-GemmResult FtimmEngine::sgemm(const GemmInput& in, const FtimmOptions& opt) {
+GemmPlan FtimmEngine::plan(std::size_t m, std::size_t n, std::size_t k,
+                           const FtimmOptions& opt) const {
+  FTM_EXPECTS(m >= 1 && n >= 1 && k >= 1);
+  FTM_EXPECTS(opt.cores >= 1 && opt.cores <= mc_.cores_per_cluster);
+  GemmPlan p;
+  p.strategy = opt.force;
+  if (p.strategy == Strategy::Auto) p.strategy = choose_strategy(m, n, k);
+  p.cores = opt.cores;
+  switch (p.strategy) {
+    case Strategy::ParallelM:
+      p.mblocks = m_blocks_for(m, n, k, opt.dynamic_blocks, opt.cores);
+      break;
+    case Strategy::ParallelK:
+      p.kblocks = k_blocks_for(m, n, k, opt.dynamic_blocks, opt.cores);
+      break;
+    case Strategy::TGemm:
+      p.tblocks = tblocks_;
+      break;
+    case Strategy::Auto:
+      FTM_ASSERT(false);
+  }
+  return p;
+}
+
+GemmResult FtimmEngine::sgemm_planned(const GemmInput& in,
+                                      const GemmPlan& plan,
+                                      const FtimmOptions& opt) {
   FTM_EXPECTS(in.m >= 1 && in.n >= 1 && in.k >= 1);
   FTM_EXPECTS(opt.cores >= 1 && opt.cores <= mc_.cores_per_cluster);
-  Strategy s = opt.force;
-  if (s == Strategy::Auto) s = choose_strategy(in.m, in.n, in.k);
-  switch (s) {
+  switch (plan.strategy) {
     case Strategy::ParallelM:
-      return run_strategy_m(cluster_, cache_, in,
-                            m_blocks_for(in.m, in.n, in.k,
-                                         opt.dynamic_blocks, opt.cores),
-                            opt);
+      return run_strategy_m(cluster_, *cache_, in, plan.mblocks, opt);
     case Strategy::ParallelK:
-      return run_strategy_k(cluster_, cache_, in,
-                            k_blocks_for(in.m, in.n, in.k,
-                                         opt.dynamic_blocks, opt.cores),
-                            opt);
+      return run_strategy_k(cluster_, *cache_, in, plan.kblocks, opt);
     case Strategy::TGemm:
-      return run_tgemm(cluster_, cache_, in, tblocks_, opt);
+      return run_tgemm(cluster_, *cache_, in, plan.tblocks, opt);
     case Strategy::Auto:
       break;
   }
@@ -74,9 +98,13 @@ GemmResult FtimmEngine::sgemm(const GemmInput& in, const FtimmOptions& opt) {
   return {};
 }
 
+GemmResult FtimmEngine::sgemm(const GemmInput& in, const FtimmOptions& opt) {
+  return sgemm_planned(in, plan(in.m, in.n, in.k, opt), opt);
+}
+
 GemmResult FtimmEngine::tgemm(const GemmInput& in, const FtimmOptions& opt) {
   FTM_EXPECTS(in.m >= 1 && in.n >= 1 && in.k >= 1);
-  return run_tgemm(cluster_, cache_, in, tblocks_, opt);
+  return run_tgemm(cluster_, *cache_, in, tblocks_, opt);
 }
 
 GemmResult FtimmEngine::sgemm_autotuned(const GemmInput& in,

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <tuple>
 
 #include "ftm/isa/machine.hpp"
@@ -65,19 +66,24 @@ class MicroKernel {
   sim::ExecResult calib_;
 };
 
-/// Memoizes MicroKernel instances per (ms, ka, na, load_c).
+/// Memoizes MicroKernel instances per (ms, ka, na, load_c). Thread-safe:
+/// one cache may be shared by engines driving different clusters from
+/// different threads (kernels are immutable once built, so only the map
+/// itself needs the lock; a kernel's first generation+calibration happens
+/// under it, exactly once per shape process-wide).
 class KernelCache {
  public:
   explicit KernelCache(const isa::MachineConfig& mc = isa::default_machine());
 
   const MicroKernel& get(const KernelSpec& spec);
 
-  std::size_t generated() const { return generated_; }
-  std::size_t hits() const { return hits_; }
+  std::size_t generated() const;
+  std::size_t hits() const;
 
  private:
   using Key = std::tuple<int, int, int, bool, int>;
   isa::MachineConfig mc_;
+  mutable std::mutex mu_;
   std::map<Key, std::unique_ptr<MicroKernel>> cache_;
   std::size_t generated_ = 0;
   std::size_t hits_ = 0;

@@ -156,6 +156,7 @@ KernelCache::KernelCache(const isa::MachineConfig& mc) : mc_(mc) {}
 const MicroKernel& KernelCache::get(const KernelSpec& spec) {
   const Key key{spec.ms, spec.ka, spec.na, spec.load_c,
                 static_cast<int>(spec.dtype)};
+  const std::lock_guard<std::mutex> lock(mu_);
   auto it = cache_.find(key);
   if (it != cache_.end()) {
     ++hits_;
@@ -166,6 +167,16 @@ const MicroKernel& KernelCache::get(const KernelSpec& spec) {
   const MicroKernel& ref = *kernel;
   cache_.emplace(key, std::move(kernel));
   return ref;
+}
+
+std::size_t KernelCache::generated() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return generated_;
+}
+
+std::size_t KernelCache::hits() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
 }
 
 }  // namespace ftm::kernelgen

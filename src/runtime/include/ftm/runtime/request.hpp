@@ -1,0 +1,104 @@
+// The runtime's unit of work and the thread-safe queue that moves it.
+//
+// RequestQueue keeps one FIFO deque per cluster under a single lock (a
+// request costs milliseconds of simulation, so queue contention is
+// irrelevant) and implements work stealing in pop(): a worker whose own
+// deque is empty takes the *newest* request of the most-loaded other
+// cluster — newest because older entries are about to be reached by their
+// own worker anyway. Load is tracked in flops and includes the request a
+// worker is currently executing, so submit-side binding and idle-cluster
+// detection see in-flight work, not just queued work.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "ftm/core/types.hpp"
+
+namespace ftm::runtime {
+
+/// Shared completion state of a wide request split across clusters: the
+/// last shard to finish resolves the parent promise with the merged
+/// result (makespan = max shard cycles, traffic/kernel counts summed).
+struct SplitGroup {
+  std::mutex mu;
+  std::promise<core::GemmResult> promise;
+  int remaining = 0;       ///< shards still running
+  int shards = 0;
+  double flops = 0;        ///< of the parent problem
+  core::GemmResult merged;
+  bool failed = false;     ///< a shard already delivered an exception
+};
+
+struct Request {
+  std::uint64_t id = 0;
+  core::GemmInput in;
+  core::FtimmOptions opt;
+  /// Lanes of the executing cluster this request may occupy: it takes the
+  /// opt.cores least-loaded of lanes [0, lane_limit). run_all() sets
+  /// lane_limit to the small-phase width W so single-core requests stack
+  /// on W lanes exactly like the batched scheduling model.
+  int lane_limit = 0;  ///< 0 = opt.cores
+  int bound_cluster = -1;
+  std::promise<core::GemmResult> promise;     ///< unused when group is set
+  std::shared_ptr<SplitGroup> group;          ///< non-null for shards
+  std::chrono::steady_clock::time_point submit_time;
+};
+
+class RequestQueue {
+ public:
+  explicit RequestQueue(int clusters);
+
+  /// Enqueues onto `cluster`'s deque and wakes one worker.
+  void push(int cluster, std::unique_ptr<Request> r);
+
+  /// Blocks until work is available for `cluster` (own deque first, then —
+  /// when allow_steal — the newest request of the most-loaded victim) or
+  /// the queue is shut down *and* fully drained; returns nullptr only
+  /// then. The popped request counts toward `cluster`'s executing load
+  /// until finished() is called. *stolen reports a cross-cluster pop.
+  std::unique_ptr<Request> pop(int cluster, bool allow_steal, bool* stolen);
+
+  /// Marks a popped request done, releasing its load accounting.
+  void finished(int cluster, double flops);
+
+  /// Cluster with the least queued+executing flops (ties -> lowest id).
+  int least_loaded() const;
+
+  /// Clusters with no queued and no executing work, in id order.
+  std::vector<int> idle_clusters() const;
+
+  /// Blocks until every deque is empty and no request is executing.
+  void wait_idle() const;
+
+  /// After shutdown, workers drain remaining requests and then pop()
+  /// returns nullptr. Push is rejected (contract violation).
+  void shutdown();
+
+  /// Globally enables/disables stealing (overrides pop's allow_steal).
+  /// run_all() suspends stealing so its statically computed schedule is
+  /// executed exactly: workers race in host time, not simulated time, so
+  /// a steal would move work off the cluster whose lane clocks it was
+  /// balanced against.
+  void set_stealing(bool enabled);
+
+  std::size_t pending() const;
+
+ private:
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_work_;   ///< workers wait here
+  mutable std::condition_variable cv_idle_;   ///< wait_idle waits here
+  std::vector<std::deque<std::unique_ptr<Request>>> qs_;
+  std::vector<double> load_flops_;  ///< queued + executing, per cluster
+  std::vector<int> executing_;      ///< requests in flight, per cluster
+  bool stop_ = false;
+  bool steal_enabled_ = true;
+};
+
+}  // namespace ftm::runtime

@@ -1,0 +1,152 @@
+// GemmRuntime — the multi-cluster async GEMM runtime.
+//
+// Models a full FT-m7032: four GPDSP clusters (default) fed from a host
+// that submits irregular GEMMs concurrently. Each cluster is one
+// FtimmEngine (own simulated Cluster, shared thread-safe KernelCache)
+// driven by one std::thread. Three layers ride on top of the single-call
+// engine API:
+//
+//  * an async request queue: submit() returns a std::future<GemmResult>,
+//    requests bind to the least-loaded cluster and idle workers steal;
+//  * a shape-keyed plan cache: repeated shapes skip choose_strategy and
+//    block adjustment (plan_cache.hpp);
+//  * wide-problem splitting: a submission above wide_problem_flops is
+//    sharded row-wise across currently idle clusters and its future
+//    resolves with the merged result.
+//
+// Simulated time: every cluster keeps cores_per_cluster lane clocks. A
+// request occupies its opt.cores least-loaded lanes (within lane_limit)
+// starting at their max — so a full-cluster GEMM is a barriered serial
+// phase and single-core requests pack like the batched scheduler's
+// per-core queues. makespan_cycles() is the max lane over all clusters;
+// run_all() resets the clocks and reports the batch makespan, which is
+// exactly the old sgemm_batched model when clusters == 1 (and
+// sgemm_batched is now implemented that way).
+#pragma once
+
+#include <future>
+#include <memory>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "ftm/core/ftimm.hpp"
+#include "ftm/runtime/plan_cache.hpp"
+#include "ftm/runtime/request.hpp"
+#include "ftm/runtime/stats.hpp"
+#include "ftm/util/reporter.hpp"
+
+namespace ftm::runtime {
+
+struct RuntimeOptions {
+  int clusters = 4;          ///< FT-m7032 has four GPDSP clusters
+  core::FtimmOptions gemm;   ///< defaults for submit(in) / run_all
+  bool plan_cache = true;
+  bool work_stealing = true;
+  bool split_wide = true;          ///< shard huge submissions (async path)
+  std::size_t split_min_rows = 512;  ///< min M rows per shard
+  bool keep_request_log = true;    ///< record per-request RequestStats
+};
+
+/// Result of run_all(): the simulated makespan of a whole batch.
+struct BatchResult {
+  std::uint64_t cycles = 0;  ///< max over clusters of their lane makespan
+  double seconds = 0;
+  double gflops = 0;  ///< aggregate throughput: flops / makespan
+  double flops = 0;
+  std::size_t problems = 0;
+  std::size_t wide_problems = 0;   ///< full-cluster, serial per cluster
+  std::size_t small_problems = 0;  ///< one core each, lane-parallel
+  std::vector<std::uint64_t> cluster_cycles;  ///< per-cluster makespan
+};
+
+class GemmRuntime {
+ public:
+  /// Owns `ro.clusters` engines (plus worker threads) on `mc` machines.
+  explicit GemmRuntime(const RuntimeOptions& ro = {},
+                       const isa::MachineConfig& mc = isa::default_machine());
+
+  /// Borrows caller-owned engines, one cluster each (sgemm_batched uses
+  /// this with a single engine). Callers must not touch the engines while
+  /// the runtime is live.
+  GemmRuntime(const std::vector<core::FtimmEngine*>& engines,
+              const RuntimeOptions& ro);
+
+  /// Drains all pending requests, then joins the workers.
+  ~GemmRuntime();
+
+  GemmRuntime(const GemmRuntime&) = delete;
+  GemmRuntime& operator=(const GemmRuntime&) = delete;
+
+  /// Async submission; the future resolves (or rethrows) on completion.
+  /// In functional mode the GemmInput's C view is written by a worker
+  /// thread, so it must stay valid and un-aliased until then.
+  std::future<core::GemmResult> submit(const core::GemmInput& in);
+  std::future<core::GemmResult> submit(const core::GemmInput& in,
+                                       const core::FtimmOptions& opt);
+
+  /// Blocking batch mode: schedules every problem (wide ones occupy whole
+  /// clusters, small ones pack one core each, exactly the sgemm_batched
+  /// policy generalized to N clusters), waits, and returns the batch
+  /// makespan. Resets the simulated clocks first; do not interleave with
+  /// async submissions.
+  BatchResult run_all(std::span<const core::GemmInput> problems);
+  BatchResult run_all(std::span<const core::GemmInput> problems,
+                      const core::FtimmOptions& opt);
+
+  /// Blocks until every submitted request has completed.
+  void wait_idle();
+
+  int clusters() const { return static_cast<int>(clusters_.size()); }
+  const isa::MachineConfig& machine() const { return mc_; }
+  const PlanCache& plans() const { return plans_; }
+  core::FtimmEngine& engine(int cluster);
+
+  RuntimeStats stats() const;
+  std::vector<RequestStats> request_log() const;
+  std::uint64_t makespan_cycles() const;
+  void reset_clocks();
+
+  /// Per-cluster utilization/caching summary as a reporter table (print
+  /// with .print(title) or persist with .write_csv(path)).
+  Table report() const;
+
+ private:
+  struct ClusterState {
+    core::FtimmEngine* engine = nullptr;
+    std::unique_ptr<core::FtimmEngine> owned;
+    std::vector<std::uint64_t> lanes;  ///< simulated per-core clocks
+    std::uint64_t requests = 0;        ///< dispatches (incl. shards/steals)
+  };
+
+  void start_workers();
+  void worker_loop(int cluster);
+  void execute(int cluster, Request& req, bool stolen);
+  void deliver(Request& req, const core::GemmResult& r);
+  void charge_lanes(ClusterState& cs, const Request& req,
+                    std::uint64_t cycles);
+  std::future<core::GemmResult> submit_split(const core::GemmInput& in,
+                                             const core::FtimmOptions& opt,
+                                             const std::vector<int>& targets);
+  std::unique_ptr<Request> make_request(const core::GemmInput& in,
+                                        const core::FtimmOptions& opt);
+  void validate(const core::FtimmOptions& opt) const;
+
+  RuntimeOptions ro_;
+  isa::MachineConfig mc_;
+  std::vector<ClusterState> clusters_;
+  RequestQueue queue_;
+  PlanCache plans_;
+  std::vector<std::thread> workers_;
+
+  mutable std::mutex stats_mu_;  ///< guards lanes, counters, and the log
+  std::uint64_t next_id_ = 0;
+  std::uint64_t submitted_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t executed_ = 0;
+  std::uint64_t steals_ = 0;
+  std::uint64_t splits_ = 0;
+  std::vector<RequestStats> log_;
+};
+
+}  // namespace ftm::runtime

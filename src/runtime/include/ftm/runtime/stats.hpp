@@ -1,0 +1,39 @@
+// Observability types of the multi-cluster runtime: one lifecycle record
+// per request plus aggregate counters. Snapshots are plain values so
+// callers can diff them across phases without holding runtime locks.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ftm/core/types.hpp"
+
+namespace ftm::runtime {
+
+/// Lifecycle of one executed request (or one shard of a split request).
+struct RequestStats {
+  std::uint64_t id = 0;          ///< submission order, 1-based
+  int cluster = -1;              ///< cluster that executed it
+  bool plan_cache_hit = false;   ///< strategy/block selection skipped
+  bool stolen = false;           ///< executed by a cluster it was not bound to
+  int shards = 0;                ///< > 0 when this request was split
+  double queue_wait_ms = 0;      ///< host wall-clock submit -> dispatch
+  double exec_ms = 0;            ///< host wall-clock dispatch -> done
+  std::uint64_t sim_cycles = 0;  ///< simulated cluster cycles
+  core::Strategy strategy = core::Strategy::Auto;
+};
+
+/// Aggregate counters; a consistent snapshot taken under the stats lock.
+struct RuntimeStats {
+  std::uint64_t submitted = 0;   ///< requests accepted (shards not counted)
+  std::uint64_t completed = 0;   ///< requests whose future was fulfilled
+  std::uint64_t executed = 0;    ///< dispatches, including shards
+  std::uint64_t plan_hits = 0;
+  std::uint64_t plan_misses = 0;
+  std::uint64_t steals = 0;      ///< requests executed off their bound cluster
+  std::uint64_t splits = 0;      ///< wide requests sharded across clusters
+  std::vector<std::uint64_t> cluster_requests;     ///< dispatches per cluster
+  std::vector<std::uint64_t> cluster_busy_cycles;  ///< max lane clock per cluster
+};
+
+}  // namespace ftm::runtime

@@ -1,0 +1,39 @@
+// sgemm_batched, rerouted through the multi-cluster runtime: a batch on
+// one engine is just run_all() on a single-cluster GemmRuntime borrowing
+// that engine. The wide-serial + small-core-parallel policy (and the lane
+// makespan model behind it) now lives in GemmRuntime::run_all, where it
+// also serves the 4-cluster case.
+#include "ftm/core/batched.hpp"
+
+#include "ftm/runtime/runtime.hpp"
+
+namespace ftm::core {
+
+BatchedResult sgemm_batched(FtimmEngine& engine,
+                            std::span<const GemmInput> problems,
+                            const FtimmOptions& opt) {
+  FTM_EXPECTS(opt.cores >= 1 &&
+              opt.cores <= engine.machine().cores_per_cluster);
+  FTM_EXPECTS(opt.wide_problem_flops > 0);
+  BatchedResult res;
+  res.problems = problems.size();
+  if (problems.empty()) return res;
+
+  runtime::RuntimeOptions ro;
+  ro.gemm = opt;
+  ro.work_stealing = false;  // one cluster: nothing to steal
+  ro.split_wide = false;
+  ro.keep_request_log = false;
+  runtime::GemmRuntime rt(std::vector<FtimmEngine*>{&engine}, ro);
+  const runtime::BatchResult br = rt.run_all(problems, opt);
+
+  res.cycles = br.cycles;
+  res.seconds = br.seconds;
+  res.gflops = br.gflops;
+  res.flops = br.flops;
+  res.wide_problems = br.wide_problems;
+  res.small_problems = br.small_problems;
+  return res;
+}
+
+}  // namespace ftm::core

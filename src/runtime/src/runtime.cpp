@@ -1,0 +1,578 @@
+#include "ftm/runtime/runtime.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <numeric>
+
+#include "ftm/util/stats.hpp"
+
+namespace ftm::runtime {
+
+// ---------------------------------------------------------------- queue --
+
+RequestQueue::RequestQueue(int clusters)
+    : qs_(static_cast<std::size_t>(clusters)),
+      load_flops_(static_cast<std::size_t>(clusters), 0.0),
+      executing_(static_cast<std::size_t>(clusters), 0) {
+  FTM_EXPECTS(clusters >= 1);
+}
+
+void RequestQueue::push(int cluster, std::unique_ptr<Request> r) {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    FTM_EXPECTS(!stop_);
+    FTM_EXPECTS(cluster >= 0 &&
+                cluster < static_cast<int>(qs_.size()));
+    load_flops_[cluster] += r->in.flops();
+    qs_[cluster].push_back(std::move(r));
+  }
+  cv_work_.notify_all();
+}
+
+std::unique_ptr<Request> RequestQueue::pop(int cluster, bool allow_steal,
+                                           bool* stolen) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (!qs_[cluster].empty()) {
+      auto r = std::move(qs_[cluster].front());
+      qs_[cluster].pop_front();
+      ++executing_[cluster];
+      if (stolen) *stolen = false;
+      return r;
+    }
+    if (allow_steal && steal_enabled_) {
+      int victim = -1;
+      for (int c = 0; c < static_cast<int>(qs_.size()); ++c) {
+        if (c == cluster || qs_[c].empty()) continue;
+        if (victim < 0 || load_flops_[c] > load_flops_[victim]) victim = c;
+      }
+      if (victim >= 0) {
+        auto r = std::move(qs_[victim].back());
+        qs_[victim].pop_back();
+        const double f = r->in.flops();
+        load_flops_[victim] = std::max(0.0, load_flops_[victim] - f);
+        load_flops_[cluster] += f;
+        ++executing_[cluster];
+        if (stolen) *stolen = true;
+        return r;
+      }
+    }
+    if (stop_) return nullptr;
+    cv_work_.wait(lock);
+  }
+}
+
+void RequestQueue::finished(int cluster, double flops) {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    --executing_[cluster];
+    load_flops_[cluster] = std::max(0.0, load_flops_[cluster] - flops);
+  }
+  cv_idle_.notify_all();
+}
+
+int RequestQueue::least_loaded() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  int best = 0;
+  for (int c = 1; c < static_cast<int>(qs_.size()); ++c) {
+    if (load_flops_[c] < load_flops_[best]) best = c;
+  }
+  return best;
+}
+
+std::vector<int> RequestQueue::idle_clusters() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<int> idle;
+  for (int c = 0; c < static_cast<int>(qs_.size()); ++c) {
+    if (qs_[c].empty() && executing_[c] == 0) idle.push_back(c);
+  }
+  return idle;
+}
+
+void RequestQueue::wait_idle() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_idle_.wait(lock, [&] {
+    for (const auto& q : qs_)
+      if (!q.empty()) return false;
+    for (const int e : executing_)
+      if (e != 0) return false;
+    return true;
+  });
+}
+
+void RequestQueue::set_stealing(bool enabled) {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    steal_enabled_ = enabled;
+  }
+  if (enabled) cv_work_.notify_all();
+}
+
+void RequestQueue::shutdown() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  cv_idle_.notify_all();
+}
+
+std::size_t RequestQueue::pending() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const auto& q : qs_) n += q.size();
+  return n;
+}
+
+// -------------------------------------------------------------- runtime --
+
+namespace {
+
+const isa::MachineConfig& first_machine(
+    const std::vector<core::FtimmEngine*>& engines) {
+  FTM_EXPECTS(!engines.empty() && engines.front() != nullptr);
+  return engines.front()->machine();
+}
+
+double ms_between(std::chrono::steady_clock::time_point a,
+                  std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+}  // namespace
+
+GemmRuntime::GemmRuntime(const RuntimeOptions& ro,
+                         const isa::MachineConfig& mc)
+    : ro_(ro), mc_(mc), queue_(ro.clusters) {
+  FTM_EXPECTS(ro.clusters >= 1);
+  const auto kernels = std::make_shared<kernelgen::KernelCache>(mc);
+  clusters_.resize(static_cast<std::size_t>(ro.clusters));
+  for (int c = 0; c < ro.clusters; ++c) {
+    auto& cs = clusters_[c];
+    cs.owned = std::make_unique<core::FtimmEngine>(mc, kernels);
+    cs.engine = cs.owned.get();
+    cs.engine->cluster().set_id(c);
+    cs.lanes.assign(static_cast<std::size_t>(mc.cores_per_cluster), 0);
+  }
+  start_workers();
+}
+
+GemmRuntime::GemmRuntime(const std::vector<core::FtimmEngine*>& engines,
+                         const RuntimeOptions& ro)
+    : ro_(ro),
+      mc_(first_machine(engines)),
+      queue_(static_cast<int>(engines.size())) {
+  ro_.clusters = static_cast<int>(engines.size());
+  clusters_.resize(engines.size());
+  for (std::size_t c = 0; c < engines.size(); ++c) {
+    FTM_EXPECTS(engines[c] != nullptr);
+    clusters_[c].engine = engines[c];
+    clusters_[c].lanes.assign(static_cast<std::size_t>(mc_.cores_per_cluster),
+                              0);
+  }
+  start_workers();
+}
+
+GemmRuntime::~GemmRuntime() {
+  queue_.shutdown();  // workers drain whatever is still queued, then exit
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+void GemmRuntime::start_workers() {
+  workers_.reserve(clusters_.size());
+  for (int c = 0; c < clusters(); ++c) {
+    workers_.emplace_back([this, c] { worker_loop(c); });
+  }
+}
+
+void GemmRuntime::worker_loop(int cluster) {
+  for (;;) {
+    bool stolen = false;
+    auto r = queue_.pop(cluster, ro_.work_stealing, &stolen);
+    if (!r) return;
+    const double flops = r->in.flops();
+    execute(cluster, *r, stolen);
+    queue_.finished(cluster, flops);
+  }
+}
+
+void GemmRuntime::validate(const core::FtimmOptions& opt) const {
+  FTM_EXPECTS(opt.cores >= 1 && opt.cores <= mc_.cores_per_cluster);
+  FTM_EXPECTS(opt.wide_problem_flops > 0);
+}
+
+std::unique_ptr<Request> GemmRuntime::make_request(
+    const core::GemmInput& in, const core::FtimmOptions& opt) {
+  auto r = std::make_unique<Request>();
+  {
+    const std::lock_guard<std::mutex> lock(stats_mu_);
+    r->id = ++next_id_;
+  }
+  r->in = in;
+  r->opt = opt;
+  r->submit_time = std::chrono::steady_clock::now();
+  return r;
+}
+
+std::future<core::GemmResult> GemmRuntime::submit(const core::GemmInput& in) {
+  return submit(in, ro_.gemm);
+}
+
+std::future<core::GemmResult> GemmRuntime::submit(
+    const core::GemmInput& in, const core::FtimmOptions& opt) {
+  validate(opt);
+  FTM_EXPECTS(in.m >= 1 && in.n >= 1 && in.k >= 1);
+  if (ro_.split_wide && clusters() > 1 &&
+      in.flops() >= opt.wide_problem_flops &&
+      in.m >= 2 * ro_.split_min_rows) {
+    std::vector<int> idle = queue_.idle_clusters();
+    const std::size_t max_shards =
+        ro_.split_min_rows > 0 ? in.m / ro_.split_min_rows : in.m;
+    if (idle.size() > max_shards) idle.resize(max_shards);
+    if (idle.size() >= 2) return submit_split(in, opt, idle);
+  }
+  auto r = make_request(in, opt);
+  auto fut = r->promise.get_future();
+  r->bound_cluster = queue_.least_loaded();
+  {
+    const std::lock_guard<std::mutex> lock(stats_mu_);
+    ++submitted_;
+  }
+  const int target = r->bound_cluster;
+  queue_.push(target, std::move(r));
+  return fut;
+}
+
+std::future<core::GemmResult> GemmRuntime::submit_split(
+    const core::GemmInput& in, const core::FtimmOptions& opt,
+    const std::vector<int>& targets) {
+  const int P = static_cast<int>(targets.size());
+  auto group = std::make_shared<SplitGroup>();
+  group->remaining = P;
+  group->shards = P;
+  group->flops = in.flops();
+  auto fut = group->promise.get_future();
+  {
+    const std::lock_guard<std::mutex> lock(stats_mu_);
+    ++submitted_;
+    ++splits_;
+  }
+  const bool sliced = in.a.data() != nullptr;
+  const std::size_t base = in.m / static_cast<std::size_t>(P);
+  const std::size_t rem = in.m % static_cast<std::size_t>(P);
+  std::size_t r0 = 0;
+  for (int p = 0; p < P; ++p) {
+    const std::size_t rows = base + (static_cast<std::size_t>(p) < rem);
+    core::GemmInput shard;
+    shard.m = rows;
+    shard.n = in.n;
+    shard.k = in.k;
+    if (sliced) {
+      shard.a = in.a.block(r0, 0, rows, in.k);
+      shard.b = in.b;
+      shard.c = in.c.block(r0, 0, rows, in.n);
+    }
+    auto req = make_request(shard, opt);
+    req->group = group;
+    const int target = targets[static_cast<std::size_t>(p)];
+    req->bound_cluster = target;
+    queue_.push(target, std::move(req));
+    r0 += rows;
+  }
+  return fut;
+}
+
+void GemmRuntime::execute(int cluster, Request& req, bool stolen) {
+  const auto t_start = std::chrono::steady_clock::now();
+  RequestStats rs;
+  rs.id = req.id;
+  rs.cluster = cluster;
+  rs.stolen = stolen;
+  rs.shards = req.group ? req.group->shards : 0;
+  rs.queue_wait_ms = ms_between(req.submit_time, t_start);
+
+  ClusterState& cs = clusters_[static_cast<std::size_t>(cluster)];
+  core::GemmResult result;
+  bool ok = false;
+  try {
+    core::GemmPlan plan;
+    if (ro_.plan_cache) {
+      const PlanKey key = PlanKey::of(req.in.m, req.in.n, req.in.k, req.opt);
+      if (auto hit = plans_.find(key)) {
+        plan = *hit;
+        rs.plan_cache_hit = true;
+      } else {
+        plan = cs.engine->plan(req.in.m, req.in.n, req.in.k, req.opt);
+        plans_.insert(key, plan);
+      }
+    } else {
+      plan = cs.engine->plan(req.in.m, req.in.n, req.in.k, req.opt);
+    }
+    result = cs.engine->sgemm_planned(req.in, plan, req.opt);
+    ok = true;
+  } catch (...) {
+    if (req.group) {
+      const std::lock_guard<std::mutex> lock(req.group->mu);
+      --req.group->remaining;
+      if (!req.group->failed) {
+        req.group->failed = true;
+        req.group->promise.set_exception(std::current_exception());
+      }
+    } else {
+      req.promise.set_exception(std::current_exception());
+    }
+  }
+  rs.exec_ms = ms_between(t_start, std::chrono::steady_clock::now());
+  if (ok) {
+    rs.sim_cycles = result.cycles;
+    rs.strategy = result.strategy;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(stats_mu_);
+    ++executed_;
+    ++cs.requests;
+    if (stolen) ++steals_;
+    if (ok) charge_lanes(cs, req, result.cycles);
+    if (ro_.keep_request_log) log_.push_back(rs);
+  }
+  if (ok) deliver(req, result);
+}
+
+void GemmRuntime::charge_lanes(ClusterState& cs, const Request& req,
+                               std::uint64_t cycles) {
+  const int total = static_cast<int>(cs.lanes.size());
+  const int limit = std::clamp(
+      req.lane_limit > 0 ? req.lane_limit : req.opt.cores, 1, total);
+  const int width = std::min(req.opt.cores, limit);
+  std::vector<int> idx(static_cast<std::size_t>(limit));
+  std::iota(idx.begin(), idx.end(), 0);
+  std::stable_sort(idx.begin(), idx.end(), [&](int a, int b) {
+    return cs.lanes[static_cast<std::size_t>(a)] <
+           cs.lanes[static_cast<std::size_t>(b)];
+  });
+  std::uint64_t start = 0;
+  for (int i = 0; i < width; ++i) {
+    start = std::max(start, cs.lanes[static_cast<std::size_t>(idx[i])]);
+  }
+  for (int i = 0; i < width; ++i) {
+    cs.lanes[static_cast<std::size_t>(idx[i])] = start + cycles;
+  }
+}
+
+void GemmRuntime::deliver(Request& req, const core::GemmResult& r) {
+  // completed_ is bumped before the promise is fulfilled so a caller that
+  // wakes from future::get() observes a consistent stats() snapshot.
+  if (!req.group) {
+    {
+      const std::lock_guard<std::mutex> lock(stats_mu_);
+      ++completed_;
+    }
+    req.promise.set_value(r);
+    return;
+  }
+  SplitGroup& g = *req.group;
+  const std::lock_guard<std::mutex> lock(g.mu);
+  core::GemmResult& m = g.merged;
+  m.cycles = std::max(m.cycles, r.cycles);  // shards run concurrently
+  m.ddr_bytes += r.ddr_bytes;
+  m.kernel_calls += r.kernel_calls;
+  m.strategy = r.strategy;
+  m.cores = r.cores;
+  if (--g.remaining == 0 && !g.failed) {
+    m.seconds = static_cast<double>(m.cycles) / (mc_.freq_ghz * 1e9);
+    m.gflops = m.seconds > 0 ? g.flops / m.seconds / 1e9 : 0.0;
+    const double peak = mc_.core_peak_gflops() *
+                        static_cast<double>(m.cores) *
+                        static_cast<double>(g.shards);
+    m.efficiency = peak > 0 ? m.gflops / peak : 0.0;
+    {
+      const std::lock_guard<std::mutex> slock(stats_mu_);
+      ++completed_;
+    }
+    g.promise.set_value(m);
+  }
+}
+
+BatchResult GemmRuntime::run_all(std::span<const core::GemmInput> problems) {
+  return run_all(problems, ro_.gemm);
+}
+
+BatchResult GemmRuntime::run_all(std::span<const core::GemmInput> problems,
+                                 const core::FtimmOptions& opt) {
+  validate(opt);
+  const int NC = clusters();
+  BatchResult br;
+  br.problems = problems.size();
+  br.cluster_cycles.assign(static_cast<std::size_t>(NC), 0);
+  if (problems.empty()) return br;
+  wait_idle();
+  reset_clocks();
+
+  // The batch schedule below balances simulated lane clocks per cluster;
+  // letting host-time-idle workers steal would break it (simulation speed
+  // has nothing to do with simulated load). Suspend stealing until every
+  // future has resolved.
+  struct StealGuard {
+    RequestQueue& q;
+    ~StealGuard() { q.set_stealing(true); }
+  } guard{queue_};
+  queue_.set_stealing(false);
+
+  std::vector<std::size_t> wide, small;
+  for (std::size_t i = 0; i < problems.size(); ++i) {
+    br.flops += problems[i].flops();
+    if (problems[i].flops() >= opt.wide_problem_flops && opt.cores > 1) {
+      wide.push_back(i);
+    } else {
+      small.push_back(i);
+    }
+  }
+  br.wide_problems = wide.size();
+  br.small_problems = small.size();
+
+  std::vector<std::future<core::GemmResult>> futs;
+  futs.reserve(problems.size());
+  auto enqueue = [&](const core::GemmInput& in,
+                     const core::FtimmOptions& o, int c, int lane_limit) {
+    auto r = make_request(in, o);
+    r->lane_limit = lane_limit;
+    r->bound_cluster = c;
+    futs.push_back(r->promise.get_future());
+    {
+      const std::lock_guard<std::mutex> lock(stats_mu_);
+      ++submitted_;
+    }
+    queue_.push(c, std::move(r));
+  };
+
+  // Wide problems occupy a whole cluster each, serially; greedy placement
+  // onto the cluster with the least wide flops so far.
+  std::vector<double> assigned(static_cast<std::size_t>(NC), 0.0);
+  for (const std::size_t i : wide) {
+    int c = 0;
+    for (int j = 1; j < NC; ++j) {
+      if (assigned[j] < assigned[c]) c = j;
+    }
+    assigned[c] += problems[i].flops();
+    enqueue(problems[i], opt, c, opt.cores);
+  }
+
+  // Small problems run one core each, round-robin over clusters; each
+  // cluster packs its share onto W lanes with DDR bandwidth shared W ways
+  // (W = min(cores, smalls on that cluster) — the sgemm_batched model).
+  std::vector<std::size_t> small_count(static_cast<std::size_t>(NC), 0);
+  for (std::size_t idx = 0; idx < small.size(); ++idx) {
+    ++small_count[idx % static_cast<std::size_t>(NC)];
+  }
+  for (std::size_t idx = 0; idx < small.size(); ++idx) {
+    const int c = static_cast<int>(idx % static_cast<std::size_t>(NC));
+    const int W = static_cast<int>(std::min<std::size_t>(
+        static_cast<std::size_t>(opt.cores),
+        std::max<std::size_t>(1, small_count[static_cast<std::size_t>(c)])));
+    core::FtimmOptions sub = opt;
+    sub.cores = 1;
+    sub.bandwidth_share = W;
+    enqueue(problems[small[idx]], sub, c, W);
+  }
+
+  for (auto& f : futs) f.get();  // rethrows the first failure
+
+  {
+    const std::lock_guard<std::mutex> lock(stats_mu_);
+    for (int c = 0; c < NC; ++c) {
+      std::uint64_t mk = 0;
+      for (const std::uint64_t t : clusters_[c].lanes) mk = std::max(mk, t);
+      br.cluster_cycles[c] = mk;
+      br.cycles = std::max(br.cycles, mk);
+    }
+  }
+  br.seconds = static_cast<double>(br.cycles) / (mc_.freq_ghz * 1e9);
+  br.gflops = br.seconds > 0 ? br.flops / br.seconds / 1e9 : 0.0;
+  return br;
+}
+
+void GemmRuntime::wait_idle() { queue_.wait_idle(); }
+
+core::FtimmEngine& GemmRuntime::engine(int cluster) {
+  FTM_EXPECTS(cluster >= 0 && cluster < clusters());
+  return *clusters_[static_cast<std::size_t>(cluster)].engine;
+}
+
+RuntimeStats GemmRuntime::stats() const {
+  const std::lock_guard<std::mutex> lock(stats_mu_);
+  RuntimeStats s;
+  s.submitted = submitted_;
+  s.completed = completed_;
+  s.executed = executed_;
+  s.plan_hits = plans_.hits();
+  s.plan_misses = plans_.misses();
+  s.steals = steals_;
+  s.splits = splits_;
+  for (const auto& cs : clusters_) {
+    s.cluster_requests.push_back(cs.requests);
+    std::uint64_t mk = 0;
+    for (const std::uint64_t t : cs.lanes) mk = std::max(mk, t);
+    s.cluster_busy_cycles.push_back(mk);
+  }
+  return s;
+}
+
+std::vector<RequestStats> GemmRuntime::request_log() const {
+  const std::lock_guard<std::mutex> lock(stats_mu_);
+  return log_;
+}
+
+std::uint64_t GemmRuntime::makespan_cycles() const {
+  const std::lock_guard<std::mutex> lock(stats_mu_);
+  std::uint64_t mk = 0;
+  for (const auto& cs : clusters_) {
+    for (const std::uint64_t t : cs.lanes) mk = std::max(mk, t);
+  }
+  return mk;
+}
+
+void GemmRuntime::reset_clocks() {
+  const std::lock_guard<std::mutex> lock(stats_mu_);
+  for (auto& cs : clusters_) {
+    std::fill(cs.lanes.begin(), cs.lanes.end(), 0);
+  }
+}
+
+Table GemmRuntime::report() const {
+  const RuntimeStats s = stats();
+  std::vector<double> waits;
+  {
+    const std::lock_guard<std::mutex> lock(stats_mu_);
+    waits.reserve(log_.size());
+    for (const RequestStats& r : log_) waits.push_back(r.queue_wait_ms);
+  }
+  Table t({"cluster", "requests", "busy_cycles", "plan_hits", "plan_misses",
+           "steals", "splits", "wait_p50_ms", "wait_p95_ms"});
+  for (std::size_t c = 0; c < s.cluster_requests.size(); ++c) {
+    t.begin_row()
+        .cell(static_cast<long long>(c))
+        .cell(static_cast<std::size_t>(s.cluster_requests[c]))
+        .cell(static_cast<std::size_t>(s.cluster_busy_cycles[c]))
+        .cell("")
+        .cell("")
+        .cell("")
+        .cell("")
+        .cell("")
+        .cell("");
+  }
+  t.begin_row()
+      .cell("all")
+      .cell(static_cast<std::size_t>(s.executed))
+      .cell(static_cast<std::size_t>(makespan_cycles()))
+      .cell(static_cast<std::size_t>(s.plan_hits))
+      .cell(static_cast<std::size_t>(s.plan_misses))
+      .cell(static_cast<std::size_t>(s.steals))
+      .cell(static_cast<std::size_t>(s.splits))
+      .cell(percentile(waits, 50), 3)
+      .cell(percentile(waits, 95), 3);
+  return t;
+}
+
+}  // namespace ftm::runtime

@@ -15,12 +15,21 @@
 
 namespace ftm::sim {
 
+// Thread ownership: a Cluster has no internal locking. Each instance must
+// be driven by one thread at a time (the multi-cluster runtime gives every
+// worker thread its own Cluster via its own FtimmEngine); reset() restores
+// a cluster to its post-construction state independently of any other.
 class Cluster {
  public:
-  explicit Cluster(const isa::MachineConfig& mc = isa::default_machine());
+  explicit Cluster(const isa::MachineConfig& mc = isa::default_machine(),
+                   int id = 0);
 
   const isa::MachineConfig& machine() const { return mc_; }
   int num_cores() const { return static_cast<int>(cores_.size()); }
+
+  /// Identifies this cluster in multi-cluster runtime stats/reports.
+  int id() const { return id_; }
+  void set_id(int id) { id_ = id; }
 
   DspCore& core(int i);
   CoreTimeline& timeline(int i);
@@ -56,6 +65,7 @@ class Cluster {
 
  private:
   isa::MachineConfig mc_;
+  int id_ = 0;
   std::vector<std::unique_ptr<DspCore>> cores_;
   std::vector<CoreTimeline> timelines_;
   Scratchpad gsm_;

@@ -2,8 +2,8 @@
 
 namespace ftm::sim {
 
-Cluster::Cluster(const isa::MachineConfig& mc)
-    : mc_(mc), gsm_("GSM", mc.gsm_bytes) {
+Cluster::Cluster(const isa::MachineConfig& mc, int id)
+    : mc_(mc), id_(id), gsm_("GSM", mc.gsm_bytes) {
   cores_.reserve(mc.cores_per_cluster);
   for (int i = 0; i < mc.cores_per_cluster; ++i) {
     cores_.push_back(std::make_unique<DspCore>(mc));

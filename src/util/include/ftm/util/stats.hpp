@@ -17,6 +17,10 @@ Summary summarize(std::span<const double> xs);
 /// Geometric mean; all inputs must be > 0.
 double geomean(std::span<const double> xs);
 
+/// p-th percentile (p in [0, 100]) by linear interpolation between order
+/// statistics; 0 for an empty input. Used by the runtime's latency report.
+double percentile(std::span<const double> xs, double p);
+
 /// Online accumulator (Welford) for long-running sweeps.
 class RunningStats {
  public:

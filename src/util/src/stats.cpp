@@ -40,6 +40,19 @@ double geomean(std::span<const double> xs) {
   return std::exp(acc / static_cast<double>(xs.size()));
 }
 
+double percentile(std::span<const double> xs, double p) {
+  FTM_EXPECTS(p >= 0 && p <= 100);
+  if (xs.empty()) return 0.0;
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double rank =
+      p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
 void RunningStats::add(double x) {
   if (n_ == 0) {
     min_ = max_ = x;

@@ -100,6 +100,83 @@ TEST(Batched, MakespanScalesDownWithCores) {
   EXPECT_GT(static_cast<double>(c1.cycles) / c8.cycles, 1.5);
 }
 
+TEST(Batched, AllWideBatchRunsSerially) {
+  // Every problem above the wide threshold gets the whole cluster, so the
+  // batch makespan is exactly the sum of the individual whole-cluster runs.
+  std::vector<GemmInput> inputs(3, GemmInput::shape_only(20480, 96, 2048));
+  FtimmOptions opt;
+  opt.functional = false;
+  const BatchedResult r = sgemm_batched(engine(), inputs, opt);
+  EXPECT_EQ(r.wide_problems, 3u);
+  EXPECT_EQ(r.small_problems, 0u);
+  std::uint64_t serial = 0;
+  for (const auto& in : inputs) serial += engine().sgemm(in, opt).cycles;
+  EXPECT_EQ(r.cycles, serial);
+}
+
+TEST(Batched, AllSmallMoreProblemsThanCores) {
+  // 20 identical smalls over 8 one-core lanes: greedy least-loaded packing
+  // puts ceil(20/8) = 3 problems on the longest lane.
+  std::vector<GemmInput> inputs(20, GemmInput::shape_only(256, 16, 16));
+  FtimmOptions opt;
+  opt.functional = false;
+  const BatchedResult r = sgemm_batched(engine(), inputs, opt);
+  EXPECT_EQ(r.small_problems, 20u);
+  FtimmOptions sub = opt;
+  sub.cores = 1;
+  sub.bandwidth_share = 8;  // W = min(8 cores, 20 problems)
+  const std::uint64_t one = engine().sgemm(inputs[0], sub).cycles;
+  EXPECT_EQ(r.cycles, 3 * one);
+}
+
+TEST(Batched, MixedMakespanIsWidePhasePlusLongestLane) {
+  // Wides run first as whole-cluster barriers; smalls then pack onto
+  // W = min(cores, small count) lanes. With 13 identical smalls on 8
+  // lanes the longest lane holds ceil(13/8) = 2 of them.
+  std::vector<GemmInput> inputs;
+  inputs.push_back(GemmInput::shape_only(20480, 96, 2048));
+  for (int i = 0; i < 13; ++i)
+    inputs.push_back(GemmInput::shape_only(512, 16, 32));
+  inputs.push_back(GemmInput::shape_only(24576, 96, 2048));
+  FtimmOptions opt;
+  opt.functional = false;
+  const BatchedResult r = sgemm_batched(engine(), inputs, opt);
+  EXPECT_EQ(r.wide_problems, 2u);
+  EXPECT_EQ(r.small_problems, 13u);
+  const std::uint64_t wide_phase =
+      engine().sgemm(inputs[0], opt).cycles +
+      engine().sgemm(inputs.back(), opt).cycles;
+  FtimmOptions sub = opt;
+  sub.cores = 1;
+  sub.bandwidth_share = 8;
+  const std::uint64_t small_lane =
+      2 * engine().sgemm(inputs[1], sub).cycles;
+  EXPECT_EQ(r.cycles, wide_phase + small_lane);
+}
+
+TEST(Batched, RejectsNonPositiveWideThreshold) {
+  std::vector<GemmInput> inputs{GemmInput::shape_only(64, 8, 8)};
+  FtimmOptions opt;
+  opt.functional = false;
+  opt.wide_problem_flops = 0;
+  EXPECT_THROW(sgemm_batched(engine(), inputs, opt), ContractViolation);
+  opt.wide_problem_flops = -128;
+  EXPECT_THROW(sgemm_batched(engine(), inputs, opt), ContractViolation);
+}
+
+TEST(Batched, WideThresholdIsTunable) {
+  // Lowering the threshold reclassifies the same shape from small to wide.
+  std::vector<GemmInput> inputs(4, GemmInput::shape_only(512, 16, 32));
+  FtimmOptions opt;
+  opt.functional = false;
+  const BatchedResult hi = sgemm_batched(engine(), inputs, opt);
+  EXPECT_EQ(hi.small_problems, 4u);
+  opt.wide_problem_flops = 1024;  // everything is "wide" now
+  const BatchedResult lo = sgemm_batched(engine(), inputs, opt);
+  EXPECT_EQ(lo.wide_problems, 4u);
+  EXPECT_EQ(lo.small_problems, 0u);
+}
+
 TEST(Batched, AggregateFlopsAccounted) {
   std::vector<GemmInput> inputs;
   double flops = 0;

@@ -1,0 +1,296 @@
+#include <gtest/gtest.h>
+
+#include <future>
+#include <vector>
+
+#include "ftm/core/batched.hpp"
+#include "ftm/cpu/cpu_gemm.hpp"
+#include "ftm/runtime/runtime.hpp"
+#include "ftm/workload/generators.hpp"
+
+namespace ftm::runtime {
+namespace {
+
+using core::FtimmEngine;
+using core::FtimmOptions;
+using core::GemmInput;
+using core::GemmResult;
+
+struct Shape {
+  std::size_t m, n, k;
+};
+
+std::size_t count_mismatches(ConstMatrixView a, ConstMatrixView b) {
+  std::size_t bad = 0;
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t c = 0; c < a.cols(); ++c) {
+      if (a.at(r, c) != b.at(r, c)) ++bad;
+    }
+  }
+  return bad;
+}
+
+// --- acceptance (a): concurrent functional submissions, bitwise C ----------
+
+TEST(Runtime, ConcurrentSubmissionsBitwiseCorrect) {
+  RuntimeOptions ro;
+  ro.clusters = 4;
+  ro.split_wide = false;  // keep the execution path identical to serial
+  GemmRuntime rt(ro);
+
+  const std::vector<Shape> shapes = {
+      {64, 8, 8},   {128, 16, 16}, {96, 32, 24},   {200, 8, 40},
+      {31, 7, 13},  {512, 32, 32}, {300, 64, 20},  {1024, 16, 64},
+      {257, 96, 96}, {48, 24, 96},  {2048, 8, 16},  {150, 48, 48}};
+  std::vector<workload::GemmProblem> mine, ref;
+  for (std::size_t i = 0; i < shapes.size(); ++i) {
+    mine.push_back(
+        workload::make_problem(shapes[i].m, shapes[i].n, shapes[i].k, 900 + i));
+    ref.push_back(
+        workload::make_problem(shapes[i].m, shapes[i].n, shapes[i].k, 900 + i));
+  }
+
+  std::vector<std::future<GemmResult>> futs;
+  for (auto& p : mine) {
+    futs.push_back(
+        rt.submit(GemmInput::bound(p.a.view(), p.b.view(), p.c.view())));
+  }
+
+  // Serial reference: the same shapes/values through one engine. The
+  // runtime dispatches the same plans to identical simulated clusters, so
+  // every C must match bit for bit, regardless of which cluster ran it.
+  FtimmEngine serial;
+  for (std::size_t i = 0; i < shapes.size(); ++i) {
+    auto& p = ref[i];
+    serial.sgemm(GemmInput::bound(p.a.view(), p.b.view(), p.c.view()));
+    const GemmResult r = futs[i].get();
+    EXPECT_GT(r.cycles, 0u) << "problem " << i;
+    EXPECT_EQ(count_mismatches(mine[i].c.view(), ref[i].c.view()), 0u)
+        << "problem " << i;
+  }
+  const RuntimeStats s = rt.stats();
+  EXPECT_EQ(s.submitted, shapes.size());
+  EXPECT_EQ(s.completed, shapes.size());
+}
+
+// --- acceptance (b): plan cache hit skips strategy re-selection ------------
+
+TEST(Runtime, PlanCacheHitSkipsStrategySelection) {
+  RuntimeOptions ro;
+  ro.clusters = 2;
+  ro.split_wide = false;
+  GemmRuntime rt(ro);
+  FtimmOptions opt;
+  opt.functional = false;
+
+  const GemmInput in = GemmInput::shape_only(4096, 16, 256);
+  const GemmResult first = rt.submit(in, opt).get();
+  EXPECT_EQ(rt.plans().misses(), 1u);
+  EXPECT_EQ(rt.plans().hits(), 0u);
+  EXPECT_EQ(rt.plans().size(), 1u);
+
+  const GemmResult second = rt.submit(in, opt).get();
+  EXPECT_EQ(rt.plans().misses(), 1u);  // no re-selection on the hit
+  EXPECT_GE(rt.plans().hits(), 1u);
+  EXPECT_EQ(rt.plans().size(), 1u);
+  EXPECT_EQ(first.cycles, second.cycles);
+  EXPECT_EQ(first.strategy, second.strategy);
+
+  const auto log = rt.request_log();
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_FALSE(log[0].plan_cache_hit);
+  EXPECT_TRUE(log[1].plan_cache_hit);
+
+  // A different shape is a different key.
+  rt.submit(GemmInput::shape_only(64, 16, 8192), opt).get();
+  EXPECT_EQ(rt.plans().misses(), 2u);
+  EXPECT_EQ(rt.plans().size(), 2u);
+}
+
+// --- acceptance (c): multi-cluster makespan <= single-cluster batched ------
+
+TEST(Runtime, FourClusterMakespanBeatsSingleClusterBatched) {
+  std::vector<GemmInput> inputs;
+  for (int i = 0; i < 3; ++i) {
+    inputs.push_back(GemmInput::shape_only(20480, 96, 2048));  // wide
+  }
+  for (int i = 0; i < 13; ++i) {
+    inputs.push_back(GemmInput::shape_only(512, 16, 32));  // small
+  }
+  FtimmOptions opt;
+  opt.functional = false;
+
+  RuntimeOptions ro;
+  ro.clusters = 4;
+  ro.gemm = opt;
+  GemmRuntime rt(ro);
+  const BatchResult multi = rt.run_all(inputs, opt);
+
+  FtimmEngine eng;
+  const core::BatchedResult single = core::sgemm_batched(eng, inputs, opt);
+
+  EXPECT_EQ(multi.problems, inputs.size());
+  EXPECT_EQ(multi.wide_problems, 3u);
+  EXPECT_EQ(multi.small_problems, 13u);
+  EXPECT_EQ(static_cast<std::size_t>(multi.cluster_cycles.size()), 4u);
+  EXPECT_LT(multi.cycles, single.cycles);
+}
+
+// --- wide-problem splitting ------------------------------------------------
+
+TEST(Runtime, WideSubmissionSplitsAcrossIdleClusters) {
+  RuntimeOptions ro;
+  ro.clusters = 4;
+  ro.split_min_rows = 1024;
+  ro.gemm.functional = false;
+  GemmRuntime rt(ro);
+
+  const GemmInput in = GemmInput::shape_only(1 << 16, 96, 512);
+  const GemmResult sharded = rt.submit(in).get();
+  const RuntimeStats s = rt.stats();
+  EXPECT_EQ(s.splits, 1u);
+  EXPECT_EQ(s.executed, 4u);   // one shard per idle cluster
+  EXPECT_EQ(s.completed, 1u);  // one future
+
+  FtimmEngine eng;
+  FtimmOptions opt;
+  opt.functional = false;
+  const GemmResult whole = eng.sgemm(in, opt);
+  EXPECT_LT(sharded.cycles, whole.cycles);
+}
+
+TEST(Runtime, SplitFunctionalResultMatchesReference) {
+  RuntimeOptions ro;
+  ro.clusters = 4;
+  ro.split_min_rows = 512;
+  ro.gemm.wide_problem_flops = 1e6;  // force the split on a modest shape
+  GemmRuntime rt(ro);
+
+  workload::GemmProblem p = workload::make_problem(4096, 32, 64, 1234);
+  HostMatrix expect(p.m, p.n);
+  for (std::size_t i = 0; i < p.m; ++i) {
+    for (std::size_t j = 0; j < p.n; ++j) expect.at(i, j) = p.c.at(i, j);
+  }
+  cpu::reference_gemm(p.a.view(), p.b.view(), expect.view());
+
+  const GemmResult r =
+      rt.submit(GemmInput::bound(p.a.view(), p.b.view(), p.c.view())).get();
+  EXPECT_EQ(rt.stats().splits, 1u);
+  EXPECT_GT(r.cycles, 0u);
+  EXPECT_LT(max_rel_diff(p.c.view(), expect.view()), gemm_tolerance(p.k));
+}
+
+// --- request queue ---------------------------------------------------------
+
+std::unique_ptr<Request> make_queue_request(std::uint64_t id, std::size_t m) {
+  auto r = std::make_unique<Request>();
+  r->id = id;
+  r->in = core::GemmInput::shape_only(m, 16, 16);
+  r->submit_time = std::chrono::steady_clock::now();
+  return r;
+}
+
+TEST(RequestQueue, PopsOwnQueueFifo) {
+  RequestQueue q(2);
+  q.push(0, make_queue_request(1, 64));
+  q.push(0, make_queue_request(2, 64));
+  bool stolen = true;
+  auto r = q.pop(0, true, &stolen);
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->id, 1u);
+  EXPECT_FALSE(stolen);
+  q.finished(0, r->in.flops());
+  r = q.pop(0, true, &stolen);
+  EXPECT_EQ(r->id, 2u);
+  q.finished(0, r->in.flops());
+}
+
+TEST(RequestQueue, StealsNewestFromMostLoadedVictim) {
+  RequestQueue q(3);
+  q.push(0, make_queue_request(1, 64));
+  q.push(1, make_queue_request(2, 4096));  // most-loaded victim
+  q.push(1, make_queue_request(3, 4096));
+  bool stolen = false;
+  auto r = q.pop(2, true, &stolen);
+  ASSERT_NE(r, nullptr);
+  EXPECT_TRUE(stolen);
+  EXPECT_EQ(r->id, 3u);  // newest entry of cluster 1
+  q.finished(2, r->in.flops());
+  // With stealing off, cluster 2 would block; shutdown drains instead.
+  q.shutdown();
+  EXPECT_EQ(q.pop(2, false, &stolen), nullptr);
+  // Remaining work is still handed out after shutdown (drain semantics).
+  r = q.pop(0, false, &stolen);
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->id, 1u);
+  q.finished(0, r->in.flops());
+  r = q.pop(1, false, &stolen);
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->id, 2u);
+  q.finished(1, r->in.flops());
+  EXPECT_EQ(q.pop(1, true, &stolen), nullptr);
+}
+
+// --- option validation and error propagation -------------------------------
+
+TEST(Runtime, RejectsNonPositiveWideThreshold) {
+  RuntimeOptions ro;
+  ro.clusters = 1;
+  GemmRuntime rt(ro);
+  FtimmOptions opt;
+  opt.functional = false;
+  opt.wide_problem_flops = 0;
+  EXPECT_THROW(rt.submit(GemmInput::shape_only(64, 8, 8), opt),
+               ContractViolation);
+  opt.wide_problem_flops = -1;
+  std::vector<GemmInput> one{GemmInput::shape_only(64, 8, 8)};
+  EXPECT_THROW(rt.run_all(one, opt), ContractViolation);
+}
+
+TEST(Runtime, WorkerExceptionsPropagateThroughFuture) {
+  RuntimeOptions ro;
+  ro.clusters = 2;
+  GemmRuntime rt(ro);
+  // functional mode with unbound views: the DMA layer rejects the null
+  // host pointers inside the worker; the future must rethrow it here.
+  FtimmOptions opt;
+  opt.functional = true;
+  auto fut = rt.submit(GemmInput::shape_only(64, 8, 8), opt);
+  EXPECT_THROW(fut.get(), ContractViolation);
+  // The runtime stays usable afterwards.
+  opt.functional = false;
+  EXPECT_GT(rt.submit(GemmInput::shape_only(64, 8, 8), opt).get().cycles, 0u);
+}
+
+// --- stats / reporting -----------------------------------------------------
+
+TEST(Runtime, ReportSurfacesPerClusterAndCacheCounters) {
+  RuntimeOptions ro;
+  ro.clusters = 2;
+  ro.gemm.functional = false;
+  ro.split_wide = false;
+  GemmRuntime rt(ro);
+  std::vector<std::future<GemmResult>> futs;
+  for (int i = 0; i < 6; ++i) {
+    futs.push_back(rt.submit(GemmInput::shape_only(256, 16, 16)));
+  }
+  for (auto& f : futs) f.get();
+
+  const Table t = rt.report();
+  // one row per cluster plus the totals row
+  EXPECT_EQ(t.row_count(), 3u);
+  const RuntimeStats s = rt.stats();
+  EXPECT_EQ(s.executed, 6u);
+  EXPECT_EQ(s.cluster_requests.size(), 2u);
+  EXPECT_EQ(s.cluster_requests[0] + s.cluster_requests[1] + s.steals -
+                s.steals,  // steals already included per cluster
+            6u);
+  EXPECT_EQ(s.plan_hits + s.plan_misses, 6u);
+  EXPECT_GE(s.plan_hits, 5u);  // same shape six times
+  EXPECT_GT(rt.makespan_cycles(), 0u);
+  rt.reset_clocks();
+  EXPECT_EQ(rt.makespan_cycles(), 0u);
+}
+
+}  // namespace
+}  // namespace ftm::runtime
