@@ -3,9 +3,12 @@
 // prints the forced-strategy comparison (M vs K parallelization) that
 // quantifies the dispatcher's choice.
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "ftm/core/ftimm.hpp"
+#include "ftm/trace/chrome.hpp"
+#include "ftm/trace/trace.hpp"
 #include "ftm/util/cli.hpp"
 #include "ftm/util/reporter.hpp"
 #include "ftm/workload/sweeps.hpp"
@@ -90,6 +93,10 @@ void forced_strategy_panel(core::FtimmEngine& eng) {
 
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
+  const std::string trace_path = cli.get("trace", "");
+  trace::TraceSession session;
+  if (!trace_path.empty()) session.start();
+
   core::FtimmEngine eng;
   Table all({"panel", "M", "N", "K", "ftimm_gflops", "tgemm_gflops",
              "speedup", "roofline"});
@@ -112,5 +119,13 @@ int main(int argc, char** argv) {
 
   forced_strategy_panel(eng);
   std::printf("CSV written to fig5_multicore.csv\n");
+
+  if (session.active()) {
+    session.stop();
+    trace::write_chrome_json(session, trace_path);
+    std::printf("trace: %zu events -> %s\n", session.event_count(),
+                trace_path.c_str());
+    session.summary().print("Trace summary");
+  }
   return 0;
 }

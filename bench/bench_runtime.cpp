@@ -4,9 +4,13 @@
 // scales the batch size and the cluster count so the CSV shows how close
 // N clusters get to N-fold single-cluster throughput.
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "ftm/runtime/runtime.hpp"
+#include "ftm/trace/chrome.hpp"
+#include "ftm/trace/trace.hpp"
+#include "ftm/util/cli.hpp"
 #include "ftm/util/reporter.hpp"
 
 using namespace ftm;
@@ -34,7 +38,12 @@ std::vector<GemmInput> make_batch(std::size_t units) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const std::string trace_path = cli.get("trace", "");
+  trace::TraceSession session;
+  if (!trace_path.empty()) session.start();
+
   FtimmOptions opt;
   opt.functional = false;
 
@@ -65,5 +74,13 @@ int main() {
   t.print("Multi-cluster runtime: throughput vs offered load");
   t.write_csv("runtime.csv");
   std::printf("CSV written to runtime.csv\n");
+
+  if (session.active()) {
+    session.stop();
+    trace::write_chrome_json(session, trace_path);
+    std::printf("trace: %zu events -> %s\n", session.event_count(),
+                trace_path.c_str());
+    session.summary().print("Trace summary");
+  }
   return 0;
 }

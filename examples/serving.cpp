@@ -5,12 +5,20 @@
 // the widest ones across idle clusters, and caches plans per shape so
 // repeated shapes skip strategy selection.
 //
-//   ./serving [--requests 32] [--clusters 4] [--seed 7]
+//   ./serving [--requests 32] [--clusters 4] [--seed 7] [--trace out.json]
+//
+// With --trace FILE the whole run is recorded through the trace layer
+// (src/trace/) and exported as Chrome trace-event JSON — open it at
+// https://ui.perfetto.dev to see one track per cluster/core/DMA engine
+// plus the host-side request lifecycle. See docs/tracing.md.
 #include <cstdio>
 #include <future>
+#include <string>
 #include <vector>
 
 #include "ftm/runtime/runtime.hpp"
+#include "ftm/trace/chrome.hpp"
+#include "ftm/trace/trace.hpp"
 #include "ftm/util/cli.hpp"
 #include "ftm/util/prng.hpp"
 
@@ -20,6 +28,17 @@ int main(int argc, char** argv) {
   const int requests = cli.get_int("requests", 32);
   const int clusters = cli.get_int("clusters", 4);
   const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed", 7));
+  const std::string trace_path = cli.get("trace", "");
+
+  trace::TraceSession session;
+  if (!trace_path.empty()) {
+    if (!FTM_TRACE_ENABLED) {
+      std::printf(
+          "note: built with -DFTM_TRACE=OFF; %s will contain no events\n",
+          trace_path.c_str());
+    }
+    session.start();
+  }
 
   runtime::RuntimeOptions ro;
   ro.clusters = clusters;
@@ -41,6 +60,21 @@ int main(int argc, char** argv) {
     futs.push_back(rt.submit(in));
   }
   for (auto& f : futs) f.get();
+  rt.wait_idle();
+
+  if (session.active()) {
+    session.stop();
+    if (trace::write_chrome_json(session, trace_path)) {
+      std::printf("trace: %zu events -> %s\n\n", session.event_count(),
+                  trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "trace: failed to write %s\n", trace_path.c_str());
+      return 1;
+    }
+    session.summary().print("Trace summary");
+    session.counters().table().print("Counters");
+    std::printf("\n");
+  }
 
   for (const runtime::RequestStats& r : rt.request_log()) {
     std::printf(

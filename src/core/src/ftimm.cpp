@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "ftm/trace/trace.hpp"
+
 namespace ftm::core {
 
 const char* to_string(Strategy s) {
@@ -76,6 +78,7 @@ GemmPlan FtimmEngine::plan(std::size_t m, std::size_t n, std::size_t k,
     case Strategy::Auto:
       FTM_ASSERT(false);
   }
+  FTM_TRACE_COUNTER("plan.built", 1);
   return p;
 }
 
@@ -120,6 +123,7 @@ GemmResult FtimmEngine::sgemm_autotuned(const GemmInput& in,
   for (Strategy s :
        {Strategy::ParallelM, Strategy::ParallelK, Strategy::TGemm}) {
     dry.force = s;
+    FTM_TRACE_COUNTER("autotune.dry_runs", 1);
     const GemmResult r = sgemm(shape, dry);
     if (r.cycles < best_cycles) {
       best_cycles = r.cycles;

@@ -7,6 +7,7 @@
 #include "ftm/core/types.hpp"
 #include "ftm/kernelgen/microkernel.hpp"
 #include "ftm/sim/cluster.hpp"
+#include "ftm/trace/trace.hpp"
 
 namespace ftm::core::detail {
 
@@ -21,11 +22,18 @@ struct RunCtx {
   std::uint64_t ddr_bytes = 0;
   std::uint64_t kernel_calls = 0;
 
+  /// Cached active session (nullptr = tracing off). Looked up once per
+  /// GEMM; an active session outlives the call by contract.
+  trace::TraceSession* trace_ = nullptr;
+
   RunCtx(sim::Cluster& c, kernelgen::KernelCache& k, const FtimmOptions& o)
       : cl(c), cache(k), opt(o), fn(o.functional) {
     cl.reset();
     cl.set_functional(o.functional);
     cl.set_active_cores(o.cores);
+#if FTM_TRACE_ENABLED
+    trace_ = trace::TraceSession::current();
+#endif
   }
 
   /// Cores that actually receive work. Idle cores issue no DMA, so they
@@ -54,6 +62,32 @@ struct RunCtx {
     return h;
   }
 
+  /// Synchronization point of the ping-pong scheme: blocks `core` until
+  /// transfer `h` completes, recording the stall (if any) as a traced
+  /// span — this is exactly the "overlap gap" the trace layer exists to
+  /// expose.
+  void wait(int core, sim::DmaHandle h) {
+    auto& tl = cl.timeline(core);
+#if FTM_TRACE_ENABLED
+    if (trace_ != nullptr) {
+      const std::uint64_t done = tl.done_time(h);
+      if (done > tl.now()) {
+        trace::Event e;
+        e.name = "wait dma";
+        e.cat = "stall";
+        e.ts = cl.trace_epoch() + tl.now();
+        e.dur = done - tl.now();
+        e.cluster = cl.id();
+        e.core = core;
+        e.track = trace::TrackKind::Compute;
+        trace_->record(e);
+        trace_->count("stall.dma_wait_cycles", done - tl.now());
+      }
+    }
+#endif
+    tl.dma_wait(h);
+  }
+
   /// Charge a micro-kernel execution on `core`'s timeline; runs the math
   /// in functional mode.
   void kernel(int core, const kernelgen::MicroKernel& uk, const float* a,
@@ -65,7 +99,59 @@ struct RunCtx {
     } else {
       cycles = uk.cost_only();
     }
+#if FTM_TRACE_ENABLED
+    if (trace_ != nullptr) {
+      const sim::ExecResult& calib = uk.calibration();
+      trace::Event e;
+      e.name = "kernel";
+      e.cat = "compute";
+      e.ts = cl.trace_epoch() + cl.timeline(core).now();
+      e.dur = cycles;
+      e.cluster = cl.id();
+      e.core = core;
+      e.track = trace::TrackKind::Compute;
+      e.arg("fmac_busy", calib.vfmac_ops);
+      e.arg("stall_cycles", calib.stall_cycles);
+      e.arg("flops", calib.flops);
+      trace_->record(e);
+      trace_->count("kernel.calls");
+      trace_->count("kernel.cycles", cycles);
+      trace_->count("kernel.stall_cycles", calib.stall_cycles);
+    }
+#endif
     cl.timeline(core).compute(cycles);
+  }
+
+  /// Phase spans (ping-pong C-tile rounds, the K-strategy reduction...):
+  /// `t0 = phase_begin(core)` before, `phase_end(core, "name", t0)` after.
+  /// Both collapse to nothing when tracing is off.
+  std::uint64_t phase_begin(int core) const {
+#if FTM_TRACE_ENABLED
+    if (trace_ != nullptr) return cl.trace_epoch() + cl.timeline(core).now();
+#endif
+    (void)core;
+    return 0;
+  }
+
+  void phase_end(int core, const char* name, std::uint64_t t0) {
+#if FTM_TRACE_ENABLED
+    if (trace_ != nullptr) {
+      trace::Event e;
+      e.name = name;
+      e.cat = "phase";
+      e.ts = t0;
+      const std::uint64_t t1 = cl.trace_epoch() + cl.timeline(core).now();
+      e.dur = t1 > t0 ? t1 - t0 : 0;
+      e.cluster = cl.id();
+      e.core = core;
+      e.track = trace::TrackKind::Compute;
+      trace_->record(e);
+    }
+#else
+    (void)core;
+    (void)name;
+    (void)t0;
+#endif
   }
 
   GemmResult finish(const GemmInput& in, Strategy s) {
@@ -81,6 +167,23 @@ struct RunCtx {
     r.cores = opt.cores;
     r.ddr_bytes = ddr_bytes;
     r.kernel_calls = kernel_calls;
+#if FTM_TRACE_ENABLED
+    if (trace_ != nullptr) {
+      trace::Event e;
+      e.name = "gemm";
+      e.cat = to_string(s);
+      e.ts = cl.trace_epoch();
+      e.dur = r.cycles;
+      e.cluster = cl.id();
+      e.track = trace::TrackKind::Cluster;
+      e.arg("m", in.m);
+      e.arg("n", in.n);
+      e.arg("k", in.k);
+      trace_->record(e);
+      trace_->count("gemm.calls");
+      trace_->count("gemm.cycles", r.cycles);
+    }
+#endif
     return r;
   }
 };

@@ -108,6 +108,7 @@ GemmResult run_strategy_k(sim::Cluster& cl, kernelgen::KernelCache& cache,
               if (detail::owns(core, tb, P)) mine.push_back(tb);
             }
             if (mine.empty()) continue;
+            const std::uint64_t kph0 = ctx.phase_begin(core);
 
             auto load_ba = [&](std::size_t w) -> sim::DmaHandle {
               const std::size_t t0 = mine[w] * kb.ka;
@@ -128,7 +129,7 @@ GemmResult run_strategy_k(sim::Cluster& cl, kernelgen::KernelCache& cache,
             for (std::size_t w = 0; w < mine.size(); ++w) {
               const std::size_t t0 = mine[w] * kb.ka;
               const std::size_t ka_t = std::min(kb.ka, K - t0);
-              tl.dma_wait(bh);
+              ctx.wait(core, bh);
               if (w + 1 < mine.size()) bh = load_ba(w + 1);
 
               const std::size_t slices = (ma_t + kb.ms - 1) / kb.ms;
@@ -153,7 +154,7 @@ GemmResult run_strategy_k(sim::Cluster& cl, kernelgen::KernelCache& cache,
               for (std::size_t s = 0; s < slices; ++s) {
                 const std::size_t u = s * kb.ms;
                 const std::size_t mrows = std::min(kb.ms, ma_t - u);
-                tl.dma_wait(ah);
+                ctx.wait(core, ah);
                 if (s + 1 < slices) ah = load_as(s + 1);
                 kernelgen::KernelSpec spec;
                 spec.ms = static_cast<int>(mrows);
@@ -191,7 +192,9 @@ GemmResult run_strategy_k(sim::Cluster& cl, kernelgen::KernelCache& cache,
                 fn ? cl.gsm().raw(stage[core].offset,
                                   ma_t * pitch * sizeof(float))
                    : nullptr);
-            tl.dma_wait(sh);
+            FTM_TRACE_COUNTER("reduce.gsm_bytes", sreq.total_bytes());
+            ctx.wait(core, sh);
+            ctx.phase_end(core, "k-partial", kph0);
           }
 
           cl.barrier();
@@ -203,6 +206,7 @@ GemmResult run_strategy_k(sim::Cluster& cl, kernelgen::KernelCache& cache,
             for (int step = 1; step < W; step *= 2) {
               for (int i = 0; i + step < W; i += 2 * step) {
                 auto& tli = cl.timeline(i);
+                const std::uint64_t tph0 = ctx.phase_begin(i);
                 for (std::size_t r0 = 0; r0 < ma_t; r0 += kb.reduce_rows) {
                   const std::size_t rows =
                       std::min(kb.reduce_rows, ma_t - r0);
@@ -230,8 +234,10 @@ GemmResult run_strategy_k(sim::Cluster& cl, kernelgen::KernelCache& cache,
                       fn ? cl.core(i).am().raw(rpart_r[i].offset,
                                                rows * pitch * sizeof(float))
                          : nullptr);
-                  tli.dma_wait(ha);
-                  tli.dma_wait(hb);
+                  FTM_TRACE_COUNTER("reduce.gsm_bytes",
+                                    2 * req.total_bytes());
+                  ctx.wait(i, ha);
+                  ctx.wait(i, hb);
                   if (fn) {
                     float* own =
                         cl.core(i).am().f32(racc_r[i].offset, rows * pitch);
@@ -252,8 +258,10 @@ GemmResult run_strategy_k(sim::Cluster& cl, kernelgen::KernelCache& cache,
                                             r0 * pitch * sizeof(float),
                                         rows * pitch * sizeof(float))
                          : nullptr);
-                  tli.dma_wait(hw);
+                  FTM_TRACE_COUNTER("reduce.gsm_bytes", wreq.total_bytes());
+                  ctx.wait(i, hw);
                 }
+                ctx.phase_end(i, "tree-combine", tph0);
               }
               cl.barrier();
             }
@@ -265,6 +273,7 @@ GemmResult run_strategy_k(sim::Cluster& cl, kernelgen::KernelCache& cache,
           // exactly the overhead it attributes to this strategy ---
           auto& tl0 = cl.timeline(0);
           tl0.advance_to(cg_ready);
+          const std::uint64_t rph0 = ctx.phase_begin(0);
           for (std::size_t r0 = 0; r0 < ma_t; r0 += kb.reduce_rows) {
             const std::size_t rows = std::min(kb.reduce_rows, ma_t - r0);
             // Original C chunk (from the GSM panel, tight ng_t pitch).
@@ -283,7 +292,8 @@ GemmResult run_strategy_k(sim::Cluster& cl, kernelgen::KernelCache& cache,
                 fn ? cl.core(0).am().raw(racc.offset,
                                          rows * pitch * sizeof(float))
                    : nullptr);
-            tl0.dma_wait(lh);
+            FTM_TRACE_COUNTER("reduce.gsm_bytes", lreq.total_bytes());
+            ctx.wait(0, lh);
             float* accbuf =
                 fn ? cl.core(0).am().f32(racc.offset, rows * pitch) : nullptr;
             for (int p = 0; p < merge_parts; ++p) {
@@ -302,7 +312,8 @@ GemmResult run_strategy_k(sim::Cluster& cl, kernelgen::KernelCache& cache,
                   fn ? cl.core(0).am().raw(rpart.offset,
                                            rows * pitch * sizeof(float))
                      : nullptr);
-              tl0.dma_wait(ph);
+              FTM_TRACE_COUNTER("reduce.gsm_bytes", preq.total_bytes());
+              ctx.wait(0, ph);
               if (fn) {
                 const float* part =
                     cl.core(0).am().f32(rpart.offset, rows * pitch);
@@ -324,8 +335,9 @@ GemmResult run_strategy_k(sim::Cluster& cl, kernelgen::KernelCache& cache,
                                          rows * pitch * sizeof(float))
                    : nullptr,
                 detail::host_dst(in.c, i0 + ii + r0, j0 + jj, fn));
-            tl0.dma_wait(oh);
+            ctx.wait(0, oh);
           }
+          ctx.phase_end(0, "reduce", rph0);
           cl.barrier();  // partials buffer may be reused now
         }
       }

@@ -92,6 +92,7 @@ GemmResult run_strategy_m(sim::Cluster& cl, kernelgen::KernelCache& cache,
         for (std::size_t ii = 0; ii < p.ng_t; ii += mb.na) {
           const std::size_t na_t = std::min(mb.na, p.ng_t - ii);
           const std::size_t pitch = am_pitch_floats(na_t);
+          const std::uint64_t ph0 = ctx.phase_begin(core);
 
           // C tile in.
           sim::DmaRequest creq;
@@ -128,12 +129,12 @@ GemmResult run_strategy_m(sim::Cluster& cl, kernelgen::KernelCache& cache,
                    : nullptr);
           };
           sim::DmaHandle bh = load_ba(0);
-          tl.dma_wait(ch);
+          ctx.wait(core, ch);
 
           for (std::size_t jb = 0; jb < njj; ++jb) {
             const std::size_t jj = jb * mb.ka;
             const std::size_t ka_t = std::min(mb.ka, p.kg_t - jj);
-            tl.dma_wait(bh);
+            ctx.wait(core, bh);
             if (jb + 1 < njj) bh = load_ba(jb + 1);
 
             // A_s slices from DDR, ping-ponged over tt.
@@ -158,7 +159,7 @@ GemmResult run_strategy_m(sim::Cluster& cl, kernelgen::KernelCache& cache,
             for (std::size_t s = 0; s < slices; ++s) {
               const std::size_t tt = s * mb.ms;
               const std::size_t mrows = std::min(mb.ms, ma_t - tt);
-              tl.dma_wait(ah);
+              ctx.wait(core, ah);
               if (s + 1 < slices) ah = load_as(s + 1);
               kernelgen::KernelSpec spec;
               spec.ms = static_cast<int>(mrows);
@@ -193,7 +194,8 @@ GemmResult run_strategy_m(sim::Cluster& cl, kernelgen::KernelCache& cache,
                                           ma_t * pitch * sizeof(float))
                  : nullptr,
               detail::host_dst(in.c, t0, p.i0 + ii, fn));
-          tl.dma_wait(oh);
+          ctx.wait(core, oh);
+          ctx.phase_end(core, "c-tile", ph0);
         }
       }
     }

@@ -119,6 +119,7 @@ GemmResult run_tgemm(sim::Cluster& cl, kernelgen::KernelCache& cache,
         if (w + 1 < mine.size()) bh[w + 1] = load_b(w + 1);
         const std::size_t t0 = mine[w] * tb.na;
         const std::size_t nw = std::min(tb.na, N - t0);
+        const std::uint64_t ph0 = ctx.phase_begin(core);
 
         // C tile in.
         sim::DmaRequest creq;
@@ -132,8 +133,8 @@ GemmResult run_tgemm(sim::Cluster& cl, kernelgen::KernelCache& cache,
                     fn ? cl.core(core).am().raw(pc[core].ca.offset,
                                                 p.mg_t * pitch * sizeof(float))
                        : nullptr);
-        tl.dma_wait(bh[w]);
-        tl.dma_wait(ch);
+        ctx.wait(core, bh[w]);
+        ctx.wait(core, ch);
 
         // A slices GSM -> SM, ping-ponged over ii.
         const std::size_t slices = (p.mg_t + tb.ms - 1) / tb.ms;
@@ -160,7 +161,7 @@ GemmResult run_tgemm(sim::Cluster& cl, kernelgen::KernelCache& cache,
         for (std::size_t s = 0; s < slices; ++s) {
           const std::size_t ii = s * tb.ms;
           const std::size_t mrows = std::min(tb.ms, p.mg_t - ii);
-          tl.dma_wait(ah);
+          ctx.wait(core, ah);
           if (s + 1 < slices) ah = load_as(s + 1);
           kernelgen::KernelSpec spec;
           spec.ms = static_cast<int>(mrows);
@@ -194,7 +195,8 @@ GemmResult run_tgemm(sim::Cluster& cl, kernelgen::KernelCache& cache,
                                                 p.mg_t * pitch * sizeof(float))
                        : nullptr,
                     detail::host_dst(in.c, p.i0, t0, fn));
-        tl.dma_wait(oh);  // C must land before the next panel accumulates
+        ctx.wait(core, oh);  // C must land before the next panel accumulates
+        ctx.phase_end(core, "c-tile", ph0);
       }
     }
   }

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <numeric>
 
+#include "ftm/trace/trace.hpp"
 #include "ftm/util/stats.hpp"
 
 namespace ftm::runtime {
@@ -240,6 +241,7 @@ std::future<core::GemmResult> GemmRuntime::submit(
     const std::lock_guard<std::mutex> lock(stats_mu_);
     ++submitted_;
   }
+  FTM_TRACE_COUNTER("runtime.submitted", 1);
   const int target = r->bound_cluster;
   queue_.push(target, std::move(r));
   return fut;
@@ -259,6 +261,21 @@ std::future<core::GemmResult> GemmRuntime::submit_split(
     ++submitted_;
     ++splits_;
   }
+  FTM_TRACE_COUNTER("runtime.submitted", 1);
+  FTM_TRACE_COUNTER("runtime.splits", 1);
+#if FTM_TRACE_ENABLED
+  if (trace::TraceSession* ts = trace::TraceSession::current()) {
+    trace::Event e;
+    e.name = "sharded";
+    e.cat = "request";
+    e.ts = ts->host_now_us();
+    e.track = trace::TrackKind::Runtime;
+    e.arg("shards", static_cast<std::uint64_t>(P));
+    e.arg("m", in.m);
+    e.arg("n", in.n);
+    ts->record(e);
+  }
+#endif
   const bool sliced = in.a.data() != nullptr;
   const std::size_t base = in.m / static_cast<std::size_t>(P);
   const std::size_t rem = in.m % static_cast<std::size_t>(P);
@@ -329,6 +346,35 @@ void GemmRuntime::execute(int cluster, Request& req, bool stolen) {
     rs.sim_cycles = result.cycles;
     rs.strategy = result.strategy;
   }
+#if FTM_TRACE_ENABLED
+  if (trace::TraceSession* ts = trace::TraceSession::current()) {
+    const std::uint64_t t0 = ts->host_us(req.submit_time);
+    const std::uint64_t t1 = ts->host_us(t_start);
+    trace::Event q;
+    q.name = "queued";
+    q.cat = "request";
+    q.ts = t0;
+    q.dur = t1 > t0 ? t1 - t0 : 0;
+    q.cluster = cluster;
+    q.track = trace::TrackKind::Runtime;
+    q.arg("id", req.id);
+    ts->record(q);
+    trace::Event x;
+    x.name = "execute";
+    x.cat = "request";
+    x.ts = t1;
+    x.dur = ts->host_now_us() - t1;
+    x.cluster = cluster;
+    x.track = trace::TrackKind::Runtime;
+    x.arg("id", req.id);
+    x.arg("plan_hit", rs.plan_cache_hit ? 1 : 0);
+    x.arg("sim_cycles", rs.sim_cycles);
+    ts->record(x);
+    ts->count(rs.plan_cache_hit ? "runtime.plan_hits"
+                                : "runtime.plan_misses");
+    if (stolen) ts->count("runtime.steals");
+  }
+#endif
   {
     const std::lock_guard<std::mutex> lock(stats_mu_);
     ++executed_;
@@ -381,6 +427,18 @@ void GemmRuntime::deliver(Request& req, const core::GemmResult& r) {
   m.strategy = r.strategy;
   m.cores = r.cores;
   if (--g.remaining == 0 && !g.failed) {
+#if FTM_TRACE_ENABLED
+    if (trace::TraceSession* ts = trace::TraceSession::current()) {
+      trace::Event e;
+      e.name = "merged";
+      e.cat = "request";
+      e.ts = ts->host_now_us();
+      e.track = trace::TrackKind::Runtime;
+      e.arg("shards", static_cast<std::uint64_t>(g.shards));
+      e.arg("cycles", m.cycles);
+      ts->record(e);
+    }
+#endif
     m.seconds = static_cast<double>(m.cycles) / (mc_.freq_ghz * 1e9);
     m.gflops = m.seconds > 0 ? g.flops / m.seconds / 1e9 : 0.0;
     const double peak = mc_.core_peak_gflops() *

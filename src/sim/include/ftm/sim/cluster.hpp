@@ -12,6 +12,7 @@
 #include "ftm/sim/core.hpp"
 #include "ftm/sim/dma.hpp"
 #include "ftm/sim/scratchpad.hpp"
+#include "ftm/trace/trace.hpp"
 
 namespace ftm::sim {
 
@@ -57,7 +58,18 @@ class Cluster {
   std::uint64_t max_time() const;
 
   /// Clears scratchpads, registers, and timelines for a fresh GEMM call.
+  /// The finished run's makespan is folded into the trace epoch first, so
+  /// traced spans of successive GEMMs lay out sequentially.
   void reset();
+
+  /// Monotonic trace-clock base: cumulative cycles of all *previous* runs
+  /// on this cluster. Traced spans report `trace_epoch() + timeline time`
+  /// so a session spanning many GEMM calls stays monotonic per cluster.
+  std::uint64_t trace_epoch() const { return trace_epoch_; }
+  /// Current trace-clock time of core `c`'s compute lane.
+  std::uint64_t trace_now(int c) const {
+    return trace_epoch_ + timelines_[static_cast<std::size_t>(c)].now();
+  }
 
   /// Convert a cluster cycle count to seconds / to achieved GFlops.
   double cycles_to_seconds(std::uint64_t cycles) const;
@@ -71,6 +83,7 @@ class Cluster {
   Scratchpad gsm_;
   int active_cores_ = 1;
   bool functional_ = true;
+  std::uint64_t trace_epoch_ = 0;
 };
 
 }  // namespace ftm::sim

@@ -1,6 +1,36 @@
 #include "ftm/sim/cluster.hpp"
 
+#include <algorithm>
+
 namespace ftm::sim {
+
+#if FTM_TRACE_ENABLED
+namespace {
+
+const char* route_span_name(DmaRoute r) {
+  switch (r) {
+    case DmaRoute::DdrToSpm: return "dma ddr->spm";
+    case DmaRoute::SpmToDdr: return "dma spm->ddr";
+    case DmaRoute::GsmToSpm: return "dma gsm->spm";
+    case DmaRoute::SpmToGsm: return "dma spm->gsm";
+    case DmaRoute::OnChip: return "dma onchip";
+  }
+  return "dma";
+}
+
+const char* route_counter_name(DmaRoute r) {
+  switch (r) {
+    case DmaRoute::DdrToSpm: return "ddr.read_bytes";
+    case DmaRoute::SpmToDdr: return "ddr.write_bytes";
+    case DmaRoute::GsmToSpm: return "gsm.read_bytes";
+    case DmaRoute::SpmToGsm: return "gsm.write_bytes";
+    case DmaRoute::OnChip: return "onchip.bytes";
+  }
+  return "dma.bytes";
+}
+
+}  // namespace
+#endif
 
 Cluster::Cluster(const isa::MachineConfig& mc, int id)
     : mc_(mc), id_(id), gsm_("GSM", mc.gsm_bytes) {
@@ -36,7 +66,26 @@ DmaHandle Cluster::dma(int c, const DmaRequest& req, const std::uint8_t* src,
     dma_copy(req, src, dst);
   }
   timelines_[c].add_dma_bytes(req.total_bytes());
-  return timelines_[c].dma_start(cost);
+  const DmaHandle h = timelines_[c].dma_start(cost);
+#if FTM_TRACE_ENABLED
+  if (trace::TraceSession* ts = trace::TraceSession::current()) {
+    trace::Event e;
+    e.name = route_span_name(req.route);
+    e.cat = "dma";
+    e.ts = trace_epoch_ + timelines_[c].done_time(h) - cost;
+    e.dur = cost;
+    e.cluster = id_;
+    e.core = c;
+    e.track = trace::TrackKind::Dma;
+    e.arg("bytes", req.total_bytes());
+    e.arg("rows", req.rows);
+    e.arg("ddr_share", static_cast<std::uint64_t>(active_cores_));
+    ts->record(e);
+    ts->count("dma.transfers");
+    ts->count(route_counter_name(req.route), req.total_bytes());
+  }
+#endif
+  return h;
 }
 
 void Cluster::barrier() {
@@ -56,6 +105,11 @@ std::uint64_t Cluster::max_time() const {
 }
 
 void Cluster::reset() {
+  // Fold the finished run into the trace clock regardless of how many
+  // cores were active for it (the makespan is the max over all lanes).
+  std::uint64_t makespan = 0;
+  for (const auto& t : timelines_) makespan = std::max(makespan, t.now());
+  trace_epoch_ += makespan;
   for (auto& core : cores_) {
     core->sm().reset();
     core->am().reset();

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <cstring>
 
+#include "ftm/trace/trace.hpp"
+
 namespace ftm::sim {
 
 using isa::Instr;
@@ -320,6 +322,17 @@ ExecResult DspCore::run(const isa::Program& prog, std::uint64_t max_cycles) {
     ++pc;
   }
   res.cycles = now;
+#if FTM_TRACE_ENABLED
+  // Detailed executions happen during kernel calibration and in debugging
+  // tools; the counters make that (one-off) work visible next to the
+  // replayed fast-path kernels.
+  if (trace::TraceSession* ts = trace::TraceSession::current()) {
+    ts->count("core.detailed_runs");
+    ts->count("core.bundles", res.bundles);
+    ts->count("core.stall_cycles", res.stall_cycles);
+    ts->count("core.vfmac_ops", res.vfmac_ops);
+  }
+#endif
   return res;
 }
 

@@ -1,0 +1,25 @@
+// Chrome trace-event JSON export (the format Perfetto and chrome://tracing
+// load). Layout: one process per simulated cluster (pid = 1 + cluster id)
+// with one named thread per core compute lane and per DMA engine, plus
+// pid 0 for the host-side runtime request lifecycle. Counter totals ride
+// along under a top-level "ftmCounters" key (ignored by viewers, read by
+// tools/tests). See docs/tracing.md for the reading guide.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "ftm/trace/trace.hpp"
+
+namespace ftm::trace {
+
+/// Streams the session as a Chrome trace-event JSON object.
+void export_chrome_json(const TraceSession& session, std::ostream& os);
+
+/// Same, to a file. Returns false if the file cannot be written.
+bool write_chrome_json(const TraceSession& session, const std::string& path);
+
+/// Export as a string (tests, tooling).
+std::string chrome_json(const TraceSession& session);
+
+}  // namespace ftm::trace

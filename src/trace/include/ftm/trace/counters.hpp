@@ -1,0 +1,47 @@
+// Named-counter registry of the tracing layer. Counters are cumulative
+// unsigned totals keyed by name ("ddr.bytes", "kernel.stall_cycles",
+// "runtime.plan_hits", ...). The hot path never touches this class: each
+// tracing thread accumulates into a private buffer keyed by the *pointer*
+// of its static-string name, and TraceSession merges those buffers into a
+// CounterRegistry when a report or export is requested.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ftm/util/reporter.hpp"
+
+namespace ftm::trace {
+
+class CounterRegistry {
+ public:
+  /// Adds `delta` to `name`, creating it at zero first.
+  void add(const std::string& name, std::uint64_t delta);
+
+  /// Current total, or 0 for a counter that was never touched.
+  std::uint64_t value(const std::string& name) const;
+
+  /// True if the counter exists (has been added to at least once).
+  bool has(const std::string& name) const;
+
+  /// All counters in name order.
+  std::vector<std::pair<std::string, std::uint64_t>> sorted() const;
+
+  /// Adds every counter of `other` into this registry.
+  void merge(const CounterRegistry& other);
+
+  std::size_t size() const { return totals_.size(); }
+  bool empty() const { return totals_.empty(); }
+  void clear() { totals_.clear(); }
+
+  /// Two-column {counter, total} table for util/reporter printing.
+  Table table() const;
+
+ private:
+  std::map<std::string, std::uint64_t> totals_;
+};
+
+}  // namespace ftm::trace

@@ -1,0 +1,169 @@
+#include "ftm/trace/chrome.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+namespace ftm::trace {
+
+namespace {
+
+void json_escape(std::ostream& os, const char* s) {
+  for (; *s; ++s) {
+    const char c = *s;
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+struct TrackId {
+  int pid;
+  int tid;
+};
+
+// pid 0 is the host-side runtime; each cluster is its own "process" so
+// Perfetto renders one group per cluster with core/DMA lanes inside it.
+TrackId track_of(const Event& e) {
+  if (e.track == TrackKind::Runtime) {
+    return {0, e.cluster >= 0 ? 1 + e.cluster : 0};
+  }
+  const int pid = 1 + (e.cluster >= 0 ? e.cluster : 0);
+  switch (e.track) {
+    case TrackKind::Cluster: return {pid, 0};
+    case TrackKind::Compute: return {pid, 1 + 2 * std::max(0, e.core)};
+    case TrackKind::Dma: return {pid, 2 + 2 * std::max(0, e.core)};
+    case TrackKind::Runtime: break;  // handled above
+  }
+  return {pid, 0};
+}
+
+std::string track_thread_name(const Event& e) {
+  if (e.track == TrackKind::Runtime) {
+    return e.cluster >= 0 ? "cluster " + std::to_string(e.cluster) + " requests"
+                          : "session";
+  }
+  switch (e.track) {
+    case TrackKind::Cluster: return "cluster";
+    case TrackKind::Compute: return "core " + std::to_string(e.core);
+    case TrackKind::Dma: return "core " + std::to_string(e.core) + " dma";
+    case TrackKind::Runtime: break;
+  }
+  return "cluster";
+}
+
+void emit_event(std::ostream& os, const Event& e, const TrackId& t) {
+  os << "{\"name\":\"";
+  json_escape(os, e.name);
+  os << "\",\"cat\":\"";
+  json_escape(os, e.cat);
+  os << "\",\"ph\":\"" << (e.dur > 0 ? 'X' : 'i') << "\",\"ts\":" << e.ts;
+  if (e.dur > 0) {
+    os << ",\"dur\":" << e.dur;
+  } else {
+    os << ",\"s\":\"t\"";  // thread-scoped instant
+  }
+  os << ",\"pid\":" << t.pid << ",\"tid\":" << t.tid << ",\"args\":{";
+  for (std::uint8_t i = 0; i < e.nargs; ++i) {
+    if (i) os << ',';
+    os << '"';
+    json_escape(os, e.arg_name[i]);
+    os << "\":" << e.arg_val[i];
+  }
+  os << "}}";
+}
+
+void emit_meta(std::ostream& os, const char* what, int pid, int tid,
+               const std::string& name, bool thread_level) {
+  os << "{\"name\":\"" << what << "\",\"ph\":\"M\",\"pid\":" << pid;
+  if (thread_level) os << ",\"tid\":" << tid;
+  os << ",\"args\":{\"name\":\"";
+  json_escape(os, name.c_str());
+  os << "\"}}";
+}
+
+}  // namespace
+
+void export_chrome_json(const TraceSession& session, std::ostream& os) {
+  const std::vector<Event> evs = session.events();
+
+  // Track discovery: name every (pid, tid) we are about to emit.
+  std::map<int, std::string> processes;
+  std::map<std::pair<int, int>, std::string> threads;
+  for (const Event& e : evs) {
+    const TrackId t = track_of(e);
+    if (t.pid == 0) {
+      processes[0] = "runtime (host us)";
+    } else {
+      processes[t.pid] =
+          "cluster " + std::to_string(t.pid - 1) + " (sim cycles)";
+    }
+    threads[{t.pid, t.tid}] = track_thread_name(e);
+  }
+
+  os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) os << ",\n";
+    first = false;
+  };
+  for (const auto& [pid, name] : processes) {
+    sep();
+    emit_meta(os, "process_name", pid, 0, name, false);
+    sep();
+    // Keep the runtime group above the clusters, clusters in id order.
+    os << "{\"name\":\"process_sort_index\",\"ph\":\"M\",\"pid\":" << pid
+       << ",\"args\":{\"sort_index\":" << pid << "}}";
+  }
+  for (const auto& [key, name] : threads) {
+    sep();
+    emit_meta(os, "thread_name", key.first, key.second, name, true);
+    sep();
+    os << "{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":" << key.first
+       << ",\"tid\":" << key.second
+       << ",\"args\":{\"sort_index\":" << key.second << "}}";
+  }
+  for (const Event& e : evs) {
+    sep();
+    emit_event(os, e, track_of(e));
+  }
+  os << "\n],\"ftmCounters\":{";
+  bool cfirst = true;
+  for (const auto& [name, v] : session.counters().sorted()) {
+    if (!cfirst) os << ',';
+    cfirst = false;
+    os << '"';
+    json_escape(os, name.c_str());
+    os << "\":" << v;
+  }
+  os << "}}\n";
+}
+
+bool write_chrome_json(const TraceSession& session, const std::string& path) {
+  std::ofstream f(path);
+  if (!f) return false;
+  export_chrome_json(session, f);
+  return static_cast<bool>(f);
+}
+
+std::string chrome_json(const TraceSession& session) {
+  std::ostringstream ss;
+  export_chrome_json(session, ss);
+  return ss.str();
+}
+
+}  // namespace ftm::trace

@@ -1,0 +1,35 @@
+#include "ftm/trace/counters.hpp"
+
+namespace ftm::trace {
+
+void CounterRegistry::add(const std::string& name, std::uint64_t delta) {
+  totals_[name] += delta;
+}
+
+std::uint64_t CounterRegistry::value(const std::string& name) const {
+  const auto it = totals_.find(name);
+  return it == totals_.end() ? 0 : it->second;
+}
+
+bool CounterRegistry::has(const std::string& name) const {
+  return totals_.find(name) != totals_.end();
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> CounterRegistry::sorted()
+    const {
+  return {totals_.begin(), totals_.end()};
+}
+
+void CounterRegistry::merge(const CounterRegistry& other) {
+  for (const auto& [name, v] : other.totals_) totals_[name] += v;
+}
+
+Table CounterRegistry::table() const {
+  Table t({"counter", "total"});
+  for (const auto& [name, v] : totals_) {
+    t.begin_row().cell(name).cell(static_cast<std::size_t>(v));
+  }
+  return t;
+}
+
+}  // namespace ftm::trace

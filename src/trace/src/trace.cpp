@@ -1,0 +1,197 @@
+#include "ftm/trace/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "ftm/util/assert.hpp"
+
+namespace ftm::trace {
+
+namespace {
+
+std::atomic<TraceSession*> g_current{nullptr};
+std::atomic<std::uint64_t> g_generation{0};
+
+// Per-thread cache of the registered buffer. `gen` ties the cached pointer
+// to one session generation so a stale pointer from a destroyed session is
+// never dereferenced.
+struct TlsCache {
+  std::uint64_t gen = 0;
+  void* buf = nullptr;
+};
+thread_local TlsCache t_cache;
+
+}  // namespace
+
+TraceSession::TraceSession() = default;
+
+TraceSession::~TraceSession() {
+  if (active_) stop();
+}
+
+void TraceSession::start() {
+  TraceSession* expected = nullptr;
+  FTM_EXPECTS(!active_);
+  generation_ = g_generation.fetch_add(1, std::memory_order_relaxed) + 1;
+  start_time_ = std::chrono::steady_clock::now();
+  active_ = true;
+  const bool installed =
+      g_current.compare_exchange_strong(expected, this);
+  FTM_EXPECTS(installed);  // only one active session at a time
+}
+
+void TraceSession::stop() {
+  if (!active_) return;
+  TraceSession* expected = this;
+  g_current.compare_exchange_strong(expected, nullptr);
+  active_ = false;
+}
+
+bool TraceSession::active() const { return active_; }
+
+TraceSession* TraceSession::current() {
+  return g_current.load(std::memory_order_relaxed);
+}
+
+TraceSession::ThreadBuf& TraceSession::local_buf() {
+  if (t_cache.gen == generation_ && t_cache.buf != nullptr) {
+    return *static_cast<ThreadBuf*>(t_cache.buf);
+  }
+  const std::lock_guard<std::mutex> lock(mu_);
+  bufs_.push_back(std::make_unique<ThreadBuf>());
+  ThreadBuf* b = bufs_.back().get();
+  b->events.reserve(4096);
+  t_cache.gen = generation_;
+  t_cache.buf = b;
+  return *b;
+}
+
+void TraceSession::record(const Event& e) { local_buf().events.push_back(e); }
+
+void TraceSession::count(const char* name, std::uint64_t delta) {
+  auto& counters = local_buf().counters;
+  for (auto& [n, v] : counters) {
+    if (n == name) {
+      v += delta;
+      return;
+    }
+  }
+  counters.emplace_back(name, delta);
+}
+
+std::uint64_t TraceSession::host_us(
+    std::chrono::steady_clock::time_point tp) const {
+  if (tp < start_time_) return 0;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(tp - start_time_)
+          .count());
+}
+
+std::uint64_t TraceSession::host_now_us() const {
+  return host_us(std::chrono::steady_clock::now());
+}
+
+std::vector<Event> TraceSession::events() const {
+  std::vector<Event> all;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    std::size_t total = 0;
+    for (const auto& b : bufs_) total += b->events.size();
+    all.reserve(total);
+    for (const auto& b : bufs_) {
+      all.insert(all.end(), b->events.begin(), b->events.end());
+    }
+  }
+  std::stable_sort(all.begin(), all.end(), [](const Event& a, const Event& b) {
+    if (a.cluster != b.cluster) return a.cluster < b.cluster;
+    if (a.track != b.track) return a.track < b.track;
+    if (a.core != b.core) return a.core < b.core;
+    return a.ts < b.ts;
+  });
+  return all;
+}
+
+std::size_t TraceSession::event_count() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::size_t total = 0;
+  for (const auto& b : bufs_) total += b->events.size();
+  return total;
+}
+
+CounterRegistry TraceSession::counters() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  CounterRegistry reg;
+  for (const auto& b : bufs_) {
+    for (const auto& [name, v] : b->counters) reg.add(name, v);
+  }
+  return reg;
+}
+
+Table TraceSession::summary() const {
+  const std::vector<Event> evs = events();
+
+  // Wall time per clock domain: sim tracks share the cluster cycle clock,
+  // the runtime track runs on host microseconds.
+  std::uint64_t sim_lo = ~std::uint64_t{0}, sim_hi = 0;
+  std::uint64_t rt_lo = ~std::uint64_t{0}, rt_hi = 0;
+  for (const Event& e : evs) {
+    auto& lo = e.track == TrackKind::Runtime ? rt_lo : sim_lo;
+    auto& hi = e.track == TrackKind::Runtime ? rt_hi : sim_hi;
+    lo = std::min(lo, e.ts);
+    hi = std::max(hi, e.ts + e.dur);
+  }
+  const std::uint64_t sim_wall = sim_hi > sim_lo ? sim_hi - sim_lo : 0;
+  const std::uint64_t rt_wall = rt_hi > rt_lo ? rt_hi - rt_lo : 0;
+
+  struct Agg {
+    const char* cat;
+    TrackKind track;
+    std::uint64_t count = 0;
+    std::uint64_t total = 0;
+  };
+  // Aggregate by (track kind, name). Names are static strings, so pointer
+  // keys are stable; two literals with equal text may legitimately produce
+  // two rows only if instrumentation sites diverge, which we avoid by
+  // naming events centrally.
+  std::vector<std::pair<const char*, Agg>> rows;
+  for (const Event& e : evs) {
+    Agg* a = nullptr;
+    for (auto& [name, agg] : rows) {
+      if (name == e.name && agg.track == e.track) {
+        a = &agg;
+        break;
+      }
+    }
+    if (a == nullptr) {
+      rows.push_back({e.name, Agg{e.cat, e.track, 0, 0}});
+      a = &rows.back().second;
+    }
+    ++a->count;
+    a->total += e.dur;
+  }
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.second.total > b.second.total;
+  });
+
+  Table t({"span", "category", "count", "total", "avg", "% of wall"});
+  for (const auto& [name, a] : rows) {
+    const std::uint64_t wall =
+        a.track == TrackKind::Runtime ? rt_wall : sim_wall;
+    t.begin_row()
+        .cell(name)
+        .cell(a.cat)
+        .cell(static_cast<std::size_t>(a.count))
+        .cell(static_cast<std::size_t>(a.total))
+        .cell(a.count ? static_cast<double>(a.total) /
+                            static_cast<double>(a.count)
+                      : 0.0,
+              1)
+        .cell(wall ? 100.0 * static_cast<double>(a.total) /
+                         static_cast<double>(wall)
+                   : 0.0,
+              2);
+  }
+  return t;
+}
+
+}  // namespace ftm::trace

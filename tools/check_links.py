@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Fail on broken relative links in git-tracked Markdown files.
+
+Checks every inline link/image target in `git ls-files '*.md'`. External
+schemes (http/https/mailto) and pure in-page anchors are skipped; a
+`path#fragment` target is checked for the path only. Targets resolve
+relative to the file containing them and must exist in the working tree.
+
+Usage: python3 tools/check_links.py [repo_root]
+Exit code 0 = all links resolve, 1 = at least one broken link.
+"""
+
+import pathlib
+import re
+import subprocess
+import sys
+
+# Inline links and images: [text](target) / ![alt](target). Targets with
+# spaces or nested parens don't occur in this repo and are out of scope.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+FENCE_RE = re.compile(r"^\s*(```|~~~)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def md_files(root: pathlib.Path) -> list[pathlib.Path]:
+    out = subprocess.run(
+        ["git", "ls-files", "*.md", "**/*.md"],
+        cwd=root, check=True, capture_output=True, text=True,
+    ).stdout
+    return sorted({root / line for line in out.splitlines() if line})
+
+
+def broken_links(path: pathlib.Path) -> list[tuple[int, str]]:
+    bad = []
+    in_fence = False
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        if FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for target in LINK_RE.findall(line):
+            if target.startswith(SKIP_PREFIXES):
+                continue
+            rel = target.split("#", 1)[0]
+            if not rel:
+                continue
+            if not (path.parent / rel).exists():
+                bad.append((lineno, target))
+    return bad
+
+
+def main() -> int:
+    root = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else ".").resolve()
+    failures = 0
+    files = md_files(root)
+    for path in files:
+        for lineno, target in broken_links(path):
+            print(f"{path.relative_to(root)}:{lineno}: broken link: {target}")
+            failures += 1
+    print(f"checked {len(files)} markdown files: "
+          f"{failures} broken link(s)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
