@@ -6,16 +6,24 @@
 // repeated shapes skip strategy selection.
 //
 //   ./serving [--requests 32] [--clusters 4] [--seed 7] [--trace out.json]
+//             [--chaos SEED]
 //
 // With --trace FILE the whole run is recorded through the trace layer
 // (src/trace/) and exported as Chrome trace-event JSON — open it at
 // https://ui.perfetto.dev to see one track per cluster/core/DMA engine
 // plus the host-side request lifecycle. See docs/tracing.md.
+//
+// With --chaos SEED the run doubles as a fault drill: a seeded
+// FaultPlan::chaos() breaks DMA transfers, stalls one cluster, and kills
+// another, while the runtime's resilience layer (retries, quarantine,
+// CPU fallback — see docs/robustness.md) keeps every request resolving.
 #include <cstdio>
 #include <future>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "ftm/fault/fault.hpp"
 #include "ftm/runtime/runtime.hpp"
 #include "ftm/trace/chrome.hpp"
 #include "ftm/trace/trace.hpp"
@@ -29,6 +37,7 @@ int main(int argc, char** argv) {
   const int clusters = cli.get_int("clusters", 4);
   const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed", 7));
   const std::string trace_path = cli.get("trace", "");
+  const int chaos_seed = cli.get_int("chaos", -1);
 
   trace::TraceSession session;
   if (!trace_path.empty()) {
@@ -40,9 +49,24 @@ int main(int argc, char** argv) {
     session.start();
   }
 
+  std::unique_ptr<fault::FaultInjector> injector;
   runtime::RuntimeOptions ro;
   ro.clusters = clusters;
   ro.gemm.functional = false;  // timing-only serving simulation
+  if (chaos_seed >= 0) {
+    injector = std::make_unique<fault::FaultInjector>(fault::FaultPlan::chaos(
+        static_cast<std::uint64_t>(chaos_seed), clusters));
+    ro.fault_injector = injector.get();
+    ro.resilience.enabled = true;
+    std::printf("chaos mode: seed %d —", chaos_seed);
+    for (int c = 0; c < clusters; ++c) {
+      const fault::ClusterFaults& f = injector->plan().clusters[c];
+      std::printf(" c%d[%s err=%.3f to=%.3f ecc=%.3f x%.1f]", c,
+                  f.dead ? "DEAD" : "ok", f.dma_error_rate,
+                  f.dma_timeout_rate, f.spm_ecc_rate, f.stall_multiplier);
+    }
+    std::printf("\n");
+  }
   runtime::GemmRuntime rt(ro);
 
   // Serving traffic: mostly decode-sized skinny GEMMs with a few large
@@ -59,7 +83,16 @@ int main(int argc, char** argv) {
                    : core::GemmInput::shape_only(512, 16, 128);    // tiny
     futs.push_back(rt.submit(in));
   }
-  for (auto& f : futs) f.get();
+  std::size_t failed = 0;
+  for (auto& f : futs) {
+    try {
+      f.get();
+    } catch (const FaultError& e) {
+      ++failed;  // typed failure — the chaos drill's tolerated outcome
+      std::printf("request failed: %s (%s, cluster %d)\n", e.what(),
+                  to_string(e.kind()), e.cluster());
+    }
+  }
   rt.wait_idle();
 
   if (session.active()) {
@@ -86,6 +119,12 @@ int main(int argc, char** argv) {
         r.plan_cache_hit ? "[plan hit]" : "[plan miss]",
         r.stolen ? " [stolen]" : "",
         r.shards > 1 ? " [split]" : "");
+    if (r.attempt > 0 || r.fault || r.cpu_fallback || r.deadline_missed) {
+      std::printf("        ^ attempt %d%s%s%s\n", r.attempt,
+                  r.fault ? " [fault]" : "",
+                  r.cpu_fallback ? " [cpu fallback]" : "",
+                  r.deadline_missed ? " [deadline missed]" : "");
+    }
   }
   std::printf("\n");
   rt.report().print("Runtime per-cluster summary");
@@ -101,5 +140,15 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(s.steals),
       static_cast<unsigned long long>(s.splits),
       static_cast<unsigned long long>(rt.makespan_cycles()));
+  if (injector) {
+    std::printf(
+        "chaos: %llu faults injected, %llu retries, %llu cpu fallbacks, "
+        "%llu deadline misses, %llu rerouted, %zu failed future(s)\n",
+        static_cast<unsigned long long>(injector->injected_total()),
+        static_cast<unsigned long long>(s.retries),
+        static_cast<unsigned long long>(s.fallbacks),
+        static_cast<unsigned long long>(s.deadline_misses),
+        static_cast<unsigned long long>(s.rerouted), failed);
+  }
   return 0;
 }

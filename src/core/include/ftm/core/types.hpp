@@ -79,6 +79,11 @@ struct GemmResult {
   int cores = 0;
   std::uint64_t ddr_bytes = 0;     ///< DDR traffic (both directions)
   std::uint64_t kernel_calls = 0;  ///< micro-kernel invocations
+  /// True when the runtime's resilience layer gave up on the DSP clusters
+  /// and computed C on the host CPU: C is correct (to gemm_tolerance(k),
+  /// the accumulation order differs) but the cycle fields are zero — the
+  /// host is outside the simulated cycle model.
+  bool cpu_fallback = false;
 };
 
 }  // namespace ftm::core

@@ -1,0 +1,152 @@
+// Deterministic fault injection for the simulated FT-m7032 (ISSUE 3).
+//
+// The hardware modeled by src/sim/ has independent failure domains: each
+// DSP core's DMA engine, each scratchpad, and each GPDSP cluster as a
+// whole. A FaultPlan declares which of those domains misbehave and how
+// often; a FaultInjector executes the plan at the hook points the
+// simulator exposes (Cluster::dma / Cluster::reset) so that every
+// injected failure surfaces as a typed ftm::FaultError — never as silent
+// corruption and never as a ContractViolation (which the runtime treats
+// as a deterministic caller bug, not a transient hardware fault).
+//
+// Determinism: each cluster draws from its own seeded xoshiro stream, and
+// a cluster is only ever driven by one thread at a time (see
+// sim::Cluster's threading contract), so for a fixed request->cluster
+// assignment the injected fault sequence is bit-reproducible. Across
+// work-stealing schedules the *sites* may move, but the per-transfer
+// rates and the dead/stalled cluster sets are fixed by the plan, which is
+// what the chaos harness's invariants are written against.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "ftm/util/prng.hpp"
+
+namespace ftm {
+
+/// What kind of failure a FaultError reports. The first four are injected
+/// by the simulator; the last two are raised by the runtime's resilience
+/// layer itself (deadline enforcement and shutdown).
+enum class FaultKind {
+  DmaError,          ///< a DMA transfer failed outright
+  DmaTimeout,        ///< a DMA transfer stalled (charged a latency penalty)
+  SpmEcc,            ///< uncorrectable ECC-style scratchpad corruption
+  ClusterStall,      ///< cluster running at a slowdown multiplier
+  ClusterDead,       ///< whole-cluster hard failure
+  DeadlineExceeded,  ///< runtime: request blew its deadline
+  Cancelled,         ///< runtime: shut down before the request could finish
+};
+
+const char* to_string(FaultKind k);
+
+/// Typed failure of a simulated hardware component (or of the runtime's
+/// own deadline/shutdown handling). Distinct from ContractViolation: a
+/// FaultError is transient/environmental and safe to retry elsewhere; a
+/// ContractViolation is a deterministic bug in the caller's input.
+class FaultError : public std::runtime_error {
+ public:
+  FaultError(FaultKind kind, int cluster, int core, const std::string& what)
+      : std::runtime_error(what), kind_(kind), cluster_(cluster),
+        core_(core) {}
+
+  FaultKind kind() const { return kind_; }
+  /// Failing cluster id, or -1 when no cluster is implicated.
+  int cluster() const { return cluster_; }
+  /// Failing core/DMA-engine id within the cluster, or -1.
+  int core() const { return core_; }
+
+ private:
+  FaultKind kind_;
+  int cluster_;
+  int core_;
+};
+
+namespace fault {
+
+/// Failure behavior of one cluster. Rates are per DMA transfer in [0, 1].
+struct ClusterFaults {
+  double dma_error_rate = 0;    ///< transfer fails with FaultKind::DmaError
+  double dma_timeout_rate = 0;  ///< transfer completes but charges a penalty
+  double spm_ecc_rate = 0;      ///< transfer aborts with FaultKind::SpmEcc
+  double stall_multiplier = 1;  ///< > 1 scales all compute/DMA cycles
+  bool dead = false;            ///< every operation fails (ClusterDead)
+};
+
+/// A declarative, seeded description of which failure domains misbehave.
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  /// Cycles charged on top of a transfer that hits a DmaTimeout (large
+  /// enough to be visible against a GEMM's normal DMA cost).
+  std::uint64_t dma_timeout_penalty_cycles = 4'000'000;
+  /// Indexed by cluster id; clusters beyond the vector are fault-free.
+  std::vector<ClusterFaults> clusters;
+
+  /// Grows the vector as needed and returns cluster `c`'s entry.
+  ClusterFaults& cluster(int c);
+
+  /// Randomized mixed plan for the chaos harness: every cluster gets
+  /// small DMA error/timeout/ECC rates, and (when clusters > 1) exactly
+  /// one cluster is dead and one other is stalled 2-8x. Deterministic in
+  /// `seed`.
+  static FaultPlan chaos(std::uint64_t seed, int clusters);
+};
+
+/// Executes a FaultPlan at the simulator's hook points. Thread contract:
+/// on_dma()/check_alive() for cluster c are called only from the thread
+/// currently driving cluster c (each cluster has its own PRNG stream);
+/// set_dead()/set_stall() and the counters are atomic and may be used
+/// from any thread (the runtime's health prober and tests use them).
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+
+  /// DMA-issue hook. Returns extra cycles to charge on the transfer
+  /// (non-zero for an injected timeout); throws FaultError for an
+  /// injected DmaError/SpmEcc, or ClusterDead when the cluster is dead.
+  std::uint64_t on_dma(int cluster, int core, std::uint64_t bytes);
+
+  /// GEMM-start hook (Cluster::reset): throws ClusterDead when dead.
+  void check_alive(int cluster);
+
+  /// Current slowdown of `cluster` (1.0 = healthy); the simulator applies
+  /// it to every compute/DMA cycle charge. Counted as an injected
+  /// ClusterStall once per GEMM that runs slowed.
+  double stall_multiplier(int cluster) const;
+  void note_stalled_run(int cluster);
+
+  bool dead(int cluster) const;
+  /// Kill or revive a cluster at runtime (chaos recovery scenarios).
+  void set_dead(int cluster, bool dead);
+  void set_stall(int cluster, double multiplier);
+
+  /// Total injections of `k` so far (atomic snapshot).
+  std::uint64_t injected(FaultKind k) const;
+  std::uint64_t injected_total() const;
+
+  const FaultPlan& plan() const { return plan_; }
+
+ private:
+  struct ClusterState {
+    Prng prng;
+    std::atomic<bool> dead{false};
+    std::atomic<double> stall{1.0};
+    ClusterFaults rates;  ///< static per-transfer rates from the plan
+  };
+
+  ClusterState& state(int cluster);
+  const ClusterState& state(int cluster) const;
+  void count(FaultKind k);
+
+  FaultPlan plan_;
+  std::vector<std::unique_ptr<ClusterState>> clusters_;
+  static constexpr int kKinds = 7;
+  std::atomic<std::uint64_t> counts_[kKinds] = {};
+};
+
+}  // namespace fault
+}  // namespace ftm

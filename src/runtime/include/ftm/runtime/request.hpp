@@ -8,6 +8,12 @@
 // own worker anyway. Load is tracked in flops and includes the request a
 // worker is currently executing, so submit-side binding and idle-cluster
 // detection see in-flight work, not just queued work.
+//
+// Quarantine support (ISSUE 3): a cluster can be disabled, which removes
+// it from least_loaded()/idle_clusters() binding decisions and makes it
+// invisible to work stealing. Its own worker can still pop its deque —
+// that is how a quarantined cluster drains already-queued work (the
+// runtime re-routes each drained request to a healthy cluster).
 #pragma once
 
 #include <chrono>
@@ -26,6 +32,10 @@ namespace ftm::runtime {
 /// Shared completion state of a wide request split across clusters: the
 /// last shard to finish resolves the parent promise with the merged
 /// result (makespan = max shard cycles, traffic/kernel counts summed).
+/// With retries enabled, a faulted shard is re-dispatched to another
+/// cluster instead of failing the group; `failed` is only set once a
+/// shard exhausts its retries, and late sibling shards then account/exit
+/// without touching the already-resolved promise.
 struct SplitGroup {
   std::mutex mu;
   std::promise<core::GemmResult> promise;
@@ -49,37 +59,73 @@ struct Request {
   std::promise<core::GemmResult> promise;     ///< unused when group is set
   std::shared_ptr<SplitGroup> group;          ///< non-null for shards
   std::chrono::steady_clock::time_point submit_time;
+  // Resilience bookkeeping (ISSUE 3).
+  int attempts = 0;          ///< dispatches so far (1 = first execution)
+  std::vector<int> tried;    ///< clusters that faulted on this request
+  /// Pre-submit contents of the C view (row-major), captured when
+  /// resilience is on and the request is functional: C += A*B is not
+  /// idempotent, so a retry/fallback must restore C before re-running,
+  /// and a failed request must leave C untouched.
+  std::vector<float> c_snapshot;
 };
 
 class RequestQueue {
  public:
+  /// Outcome of a timed pop. Shutdown is only returned once the queue is
+  /// stopped *and* the popping cluster's own deque has drained.
+  enum class PopResult { Item, Timeout, Shutdown };
+
   explicit RequestQueue(int clusters);
 
   /// Enqueues onto `cluster`'s deque and wakes one worker.
   void push(int cluster, std::unique_ptr<Request> r);
 
+  /// Like push, but returns false (leaving `r` untouched) when the queue
+  /// has been shut down — used by the retry path, which races shutdown.
+  bool try_push(int cluster, std::unique_ptr<Request>& r);
+
   /// Blocks until work is available for `cluster` (own deque first, then —
-  /// when allow_steal — the newest request of the most-loaded victim) or
-  /// the queue is shut down *and* fully drained; returns nullptr only
-  /// then. The popped request counts toward `cluster`'s executing load
-  /// until finished() is called. *stolen reports a cross-cluster pop.
+  /// when allow_steal — the newest request of the most-loaded enabled
+  /// victim) or the queue is shut down *and* fully drained; returns
+  /// nullptr only then. The popped request counts toward `cluster`'s
+  /// executing load until finished() is called. *stolen reports a
+  /// cross-cluster pop.
   std::unique_ptr<Request> pop(int cluster, bool allow_steal, bool* stolen);
+
+  /// pop() with a timeout: quarantined workers use this to alternate
+  /// between draining their deque and running recovery probes.
+  PopResult pop_wait(int cluster, bool allow_steal,
+                     std::chrono::milliseconds timeout,
+                     std::unique_ptr<Request>* out, bool* stolen);
 
   /// Marks a popped request done, releasing its load accounting.
   void finished(int cluster, double flops);
 
-  /// Cluster with the least queued+executing flops (ties -> lowest id).
+  /// Enabled cluster with the least queued+executing flops; falls back to
+  /// the least-loaded cluster overall when every cluster is disabled
+  /// (ties -> lowest id).
   int least_loaded() const;
 
-  /// Clusters with no queued and no executing work, in id order.
+  /// Enabled clusters with no queued and no executing work, in id order.
   std::vector<int> idle_clusters() const;
+
+  /// Quarantine hook: a disabled cluster receives no new bindings and
+  /// cannot be stolen from; its own worker may still pop (to drain).
+  void set_enabled(int cluster, bool enabled);
+  bool enabled(int cluster) const;
 
   /// Blocks until every deque is empty and no request is executing.
   void wait_idle() const;
 
   /// After shutdown, workers drain remaining requests and then pop()
-  /// returns nullptr. Push is rejected (contract violation).
+  /// returns nullptr. Push is rejected (contract violation; see try_push).
   void shutdown();
+  bool stopped() const;
+
+  /// Interruptible sleep for retry backoff: returns true (early) if the
+  /// queue is shut down before `d` elapses. Fractional milliseconds are
+  /// honored — default backoffs are well under 1 ms.
+  bool wait_stop_for(std::chrono::duration<double, std::milli> d) const;
 
   /// Globally enables/disables stealing (overrides pop's allow_steal).
   /// run_all() suspends stealing so its statically computed schedule is
@@ -91,12 +137,18 @@ class RequestQueue {
   std::size_t pending() const;
 
  private:
+  /// Dequeue for `cluster` (own deque, then an enabled steal victim);
+  /// returns nullptr when nothing is takeable. Caller holds mu_.
+  std::unique_ptr<Request> take_locked(int cluster, bool allow_steal,
+                                       bool* stolen);
+
   mutable std::mutex mu_;
   mutable std::condition_variable cv_work_;   ///< workers wait here
   mutable std::condition_variable cv_idle_;   ///< wait_idle waits here
   std::vector<std::deque<std::unique_ptr<Request>>> qs_;
   std::vector<double> load_flops_;  ///< queued + executing, per cluster
   std::vector<int> executing_;      ///< requests in flight, per cluster
+  std::vector<char> disabled_;      ///< quarantined clusters
   bool stop_ = false;
   bool steal_enabled_ = true;
 };

@@ -14,6 +14,18 @@
 //    sharded row-wise across currently idle clusters and its future
 //    resolves with the merged result.
 //
+// Resilience (ISSUE 3, docs/robustness.md): with ResilienceOptions
+// enabled, a dispatch that ends in an ftm::FaultError is retried with
+// exponential backoff on a *different* cluster (shards of a split request
+// re-dispatch individually instead of poisoning the merged promise),
+// per-request deadlines bound both wall-clock and simulated-cycle
+// latency, a per-cluster circuit breaker quarantines clusters after
+// consecutive faults (draining their queues to healthy clusters and
+// probing for recovery), and when every DSP path is exhausted the request
+// executes on the host CPU (src/cpu/cpu_gemm) so its future still
+// resolves with a correct C. Every future resolves: with a value, or
+// with a typed FaultError — never a hang and never silent corruption.
+//
 // Simulated time: every cluster keeps cores_per_cluster lane clocks. A
 // request occupies its opt.cores least-loaded lanes (within lane_limit)
 // starting at their max — so a full-cluster GEMM is a barriered serial
@@ -24,6 +36,7 @@
 // sgemm_batched is now implemented that way).
 #pragma once
 
+#include <exception>
 #include <future>
 #include <memory>
 #include <span>
@@ -31,12 +44,41 @@
 #include <vector>
 
 #include "ftm/core/ftimm.hpp"
+#include "ftm/fault/fault.hpp"
 #include "ftm/runtime/plan_cache.hpp"
 #include "ftm/runtime/request.hpp"
 #include "ftm/runtime/stats.hpp"
 #include "ftm/util/reporter.hpp"
 
 namespace ftm::runtime {
+
+/// Self-healing knobs (all inert unless `enabled`). See
+/// docs/robustness.md for the retry/quarantine state machine and the
+/// deadline semantics.
+struct ResilienceOptions {
+  bool enabled = false;      ///< master switch; off = fail-fast (PR-1)
+  /// Re-dispatches allowed per request (or per shard) after a FaultError;
+  /// each retry binds to a different cluster and restores C first.
+  int max_retries = 2;
+  double backoff_ms = 0.05;        ///< first retry delay (host wall-clock)
+  double backoff_multiplier = 2.0; ///< exponential growth per attempt
+  /// Wall-clock budget per request, from submit() to resolution; 0 = none.
+  /// A request over budget resolves with FaultError(DeadlineExceeded)
+  /// without (re-)executing.
+  double deadline_ms = 0;
+  /// Simulated-cycle budget per dispatch; 0 = none. A dispatch whose
+  /// simulated cost exceeds it counts as a fault (retryable: sim cycles
+  /// are not wall time, and a healthy cluster may meet the budget).
+  std::uint64_t deadline_cycles = 0;
+  /// Consecutive faults that quarantine a cluster; 0 = never quarantine.
+  int quarantine_after = 3;
+  /// How often a quarantined cluster's worker probes for recovery (the
+  /// circuit breaker's half-open trial).
+  double probe_interval_ms = 2;
+  /// Last resort: execute on the host CPU (cpu::cpu_gemm) when retries
+  /// are exhausted or no healthy cluster remains.
+  bool cpu_fallback = true;
+};
 
 struct RuntimeOptions {
   int clusters = 4;          ///< FT-m7032 has four GPDSP clusters
@@ -46,6 +88,10 @@ struct RuntimeOptions {
   bool split_wide = true;          ///< shard huge submissions (async path)
   std::size_t split_min_rows = 512;  ///< min M rows per shard
   bool keep_request_log = true;    ///< record per-request RequestStats
+  ResilienceOptions resilience;    ///< self-healing layer (ISSUE 3)
+  /// Optional fault injector, installed into every cluster's simulator
+  /// (non-owning; must outlive the runtime). nullptr = no injection.
+  fault::FaultInjector* fault_injector = nullptr;
 };
 
 /// Result of run_all(): the simulated makespan of a whole batch.
@@ -80,7 +126,11 @@ class GemmRuntime {
 
   /// Async submission; the future resolves (or rethrows) on completion.
   /// In functional mode the GemmInput's C view is written by a worker
-  /// thread, so it must stay valid and un-aliased until then.
+  /// thread, so it must stay valid and un-aliased until then. Invalid
+  /// inputs/options throw ContractViolation here, at submit time; errors
+  /// discovered during execution surface through the future. With
+  /// resilience enabled, a future that resolves exceptionally leaves C
+  /// restored to its pre-submit contents.
   std::future<core::GemmResult> submit(const core::GemmInput& in);
   std::future<core::GemmResult> submit(const core::GemmInput& in,
                                        const core::FtimmOptions& opt);
@@ -89,7 +139,9 @@ class GemmRuntime {
   /// clusters, small ones pack one core each, exactly the sgemm_batched
   /// policy generalized to N clusters), waits, and returns the batch
   /// makespan. Resets the simulated clocks first; do not interleave with
-  /// async submissions.
+  /// async submissions. If any problem fails, the first failure is
+  /// rethrown — after every future has resolved, so no work is left in
+  /// flight.
   BatchResult run_all(std::span<const core::GemmInput> problems);
   BatchResult run_all(std::span<const core::GemmInput> problems,
                       const core::FtimmOptions& opt);
@@ -102,27 +154,59 @@ class GemmRuntime {
   const PlanCache& plans() const { return plans_; }
   core::FtimmEngine& engine(int cluster);
 
+  /// Circuit-breaker state of one cluster (true = quarantined).
+  bool quarantined(int cluster) const;
+
   RuntimeStats stats() const;
   std::vector<RequestStats> request_log() const;
   std::uint64_t makespan_cycles() const;
   void reset_clocks();
 
-  /// Per-cluster utilization/caching summary as a reporter table (print
-  /// with .print(title) or persist with .write_csv(path)).
+  /// Per-cluster utilization/caching/health summary as a reporter table
+  /// (print with .print(title) or persist with .write_csv(path)).
   Table report() const;
 
  private:
+  /// Per-cluster circuit breaker (guarded by stats_mu_).
+  struct Health {
+    int consecutive = 0;     ///< faults since the last success
+    bool quarantined = false;
+    std::uint64_t failures = 0;     ///< total faults charged to the cluster
+    std::uint64_t quarantines = 0;  ///< times the breaker tripped
+    std::uint64_t probes = 0;       ///< half-open recovery probes run
+    std::chrono::steady_clock::time_point since{};  ///< quarantine start
+  };
+
   struct ClusterState {
     core::FtimmEngine* engine = nullptr;
     std::unique_ptr<core::FtimmEngine> owned;
     std::vector<std::uint64_t> lanes;  ///< simulated per-core clocks
     std::uint64_t requests = 0;        ///< dispatches (incl. shards/steals)
+    Health health;
   };
 
   void start_workers();
   void worker_loop(int cluster);
-  void execute(int cluster, Request& req, bool stolen);
+  /// One dispatch: executes, then delivers / retries / falls back / fails.
+  void process(int cluster, std::unique_ptr<Request> req, bool stolen);
+  core::GemmResult run_on_cluster(int cluster, Request& req,
+                                  RequestStats& rs);
+  void handle_fault(int cluster, std::unique_ptr<Request> req,
+                    std::exception_ptr err, RequestStats& rs);
+  void run_cpu_fallback(std::unique_ptr<Request> req, RequestStats& rs);
+  void fail(std::unique_ptr<Request> req, std::exception_ptr err,
+            RequestStats& rs);
   void deliver(Request& req, const core::GemmResult& r);
+  /// Re-routes a request popped by a quarantined cluster's worker.
+  void divert(int cluster, std::unique_ptr<Request> req);
+  void probe(int cluster);
+  void record_success(int cluster);
+  void record_failure(int cluster);
+  int pick_retry_target(const Request& req) const;
+  bool wall_deadline_passed(const Request& req) const;
+  void snapshot_c(Request& req) const;
+  void restore_c(Request& req) const;
+  void log_request(const RequestStats& rs);
   void charge_lanes(ClusterState& cs, const Request& req,
                     std::uint64_t cycles);
   std::future<core::GemmResult> submit_split(const core::GemmInput& in,
@@ -139,13 +223,19 @@ class GemmRuntime {
   PlanCache plans_;
   std::vector<std::thread> workers_;
 
-  mutable std::mutex stats_mu_;  ///< guards lanes, counters, and the log
+  mutable std::mutex stats_mu_;  ///< guards lanes, counters, health, log
   std::uint64_t next_id_ = 0;
   std::uint64_t submitted_ = 0;
   std::uint64_t completed_ = 0;
+  std::uint64_t failed_ = 0;
   std::uint64_t executed_ = 0;
   std::uint64_t steals_ = 0;
   std::uint64_t splits_ = 0;
+  std::uint64_t faults_ = 0;
+  std::uint64_t retries_ = 0;
+  std::uint64_t fallbacks_ = 0;
+  std::uint64_t deadline_misses_ = 0;
+  std::uint64_t rerouted_ = 0;
   std::vector<RequestStats> log_;
 };
 

@@ -10,13 +10,19 @@
 
 namespace ftm::runtime {
 
-/// Lifecycle of one executed request (or one shard of a split request).
+/// Lifecycle of one dispatch (a request, one shard of a split request, or
+/// one retry of either — each dispatch appends its own record).
 struct RequestStats {
   std::uint64_t id = 0;          ///< submission order, 1-based
   int cluster = -1;              ///< cluster that executed it
   bool plan_cache_hit = false;   ///< strategy/block selection skipped
   bool stolen = false;           ///< executed by a cluster it was not bound to
   int shards = 0;                ///< > 0 when this request was split
+  int attempt = 0;               ///< 0 = first dispatch, n = nth retry
+  bool fault = false;            ///< dispatch ended in a FaultError
+  bool deadline_missed = false;  ///< wall or simulated deadline blown
+  bool cpu_fallback = false;     ///< resolved on the host CPU
+  bool failed = false;           ///< resolved its future with an exception
   double queue_wait_ms = 0;      ///< host wall-clock submit -> dispatch
   double exec_ms = 0;            ///< host wall-clock dispatch -> done
   std::uint64_t sim_cycles = 0;  ///< simulated cluster cycles
@@ -26,14 +32,28 @@ struct RequestStats {
 /// Aggregate counters; a consistent snapshot taken under the stats lock.
 struct RuntimeStats {
   std::uint64_t submitted = 0;   ///< requests accepted (shards not counted)
-  std::uint64_t completed = 0;   ///< requests whose future was fulfilled
-  std::uint64_t executed = 0;    ///< dispatches, including shards
+  std::uint64_t completed = 0;   ///< requests whose future got a value
+  std::uint64_t failed = 0;      ///< requests whose future got an exception
+  std::uint64_t executed = 0;    ///< dispatches, including shards/retries
   std::uint64_t plan_hits = 0;
   std::uint64_t plan_misses = 0;
   std::uint64_t steals = 0;      ///< requests executed off their bound cluster
   std::uint64_t splits = 0;      ///< wide requests sharded across clusters
+  // Resilience counters. `faults` counts every dispatch that ended in a
+  // FaultError (non-zero with an injector even when resilience is off);
+  // the rest are zero unless ResilienceOptions::enabled.
+  std::uint64_t faults = 0;           ///< dispatches that hit a FaultError
+  std::uint64_t retries = 0;          ///< re-dispatches after a fault
+  std::uint64_t fallbacks = 0;        ///< requests resolved on the host CPU
+  std::uint64_t deadline_misses = 0;  ///< wall or simulated deadline blown
+  std::uint64_t rerouted = 0;         ///< drained off a quarantined cluster
   std::vector<std::uint64_t> cluster_requests;     ///< dispatches per cluster
   std::vector<std::uint64_t> cluster_busy_cycles;  ///< max lane clock per cluster
+  // Per-cluster health (circuit breaker) state.
+  std::vector<std::uint64_t> cluster_failures;     ///< faults charged to it
+  std::vector<std::uint64_t> cluster_quarantines;  ///< times quarantined
+  std::vector<std::uint64_t> cluster_probes;       ///< recovery probes run
+  std::vector<bool> cluster_quarantined;           ///< currently quarantined
 };
 
 }  // namespace ftm::runtime

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
+#include <cstring>
 #include <numeric>
 
+#include "ftm/cpu/cpu_gemm.hpp"
 #include "ftm/trace/trace.hpp"
 #include "ftm/util/stats.hpp"
 
@@ -14,7 +17,8 @@ namespace ftm::runtime {
 RequestQueue::RequestQueue(int clusters)
     : qs_(static_cast<std::size_t>(clusters)),
       load_flops_(static_cast<std::size_t>(clusters), 0.0),
-      executing_(static_cast<std::size_t>(clusters), 0) {
+      executing_(static_cast<std::size_t>(clusters), 0),
+      disabled_(static_cast<std::size_t>(clusters), 0) {
   FTM_EXPECTS(clusters >= 1);
 }
 
@@ -30,36 +34,80 @@ void RequestQueue::push(int cluster, std::unique_ptr<Request> r) {
   cv_work_.notify_all();
 }
 
+bool RequestQueue::try_push(int cluster, std::unique_ptr<Request>& r) {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) return false;
+    FTM_EXPECTS(cluster >= 0 &&
+                cluster < static_cast<int>(qs_.size()));
+    load_flops_[cluster] += r->in.flops();
+    qs_[cluster].push_back(std::move(r));
+  }
+  cv_work_.notify_all();
+  return true;
+}
+
+std::unique_ptr<Request> RequestQueue::take_locked(int cluster,
+                                                   bool allow_steal,
+                                                   bool* stolen) {
+  if (!qs_[cluster].empty()) {
+    auto r = std::move(qs_[cluster].front());
+    qs_[cluster].pop_front();
+    ++executing_[cluster];
+    if (stolen) *stolen = false;
+    return r;
+  }
+  // A quarantined cluster neither steals nor is stolen from: its leftover
+  // work is re-routed by its own worker, not raced for by the others.
+  if (allow_steal && steal_enabled_ && disabled_[cluster] == 0) {
+    int victim = -1;
+    for (int c = 0; c < static_cast<int>(qs_.size()); ++c) {
+      if (c == cluster || qs_[c].empty() || disabled_[c] != 0) continue;
+      if (victim < 0 || load_flops_[c] > load_flops_[victim]) victim = c;
+    }
+    if (victim >= 0) {
+      auto r = std::move(qs_[victim].back());
+      qs_[victim].pop_back();
+      const double f = r->in.flops();
+      load_flops_[victim] = std::max(0.0, load_flops_[victim] - f);
+      load_flops_[cluster] += f;
+      ++executing_[cluster];
+      if (stolen) *stolen = true;
+      return r;
+    }
+  }
+  return nullptr;
+}
+
 std::unique_ptr<Request> RequestQueue::pop(int cluster, bool allow_steal,
                                            bool* stolen) {
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
-    if (!qs_[cluster].empty()) {
-      auto r = std::move(qs_[cluster].front());
-      qs_[cluster].pop_front();
-      ++executing_[cluster];
-      if (stolen) *stolen = false;
-      return r;
-    }
-    if (allow_steal && steal_enabled_) {
-      int victim = -1;
-      for (int c = 0; c < static_cast<int>(qs_.size()); ++c) {
-        if (c == cluster || qs_[c].empty()) continue;
-        if (victim < 0 || load_flops_[c] > load_flops_[victim]) victim = c;
-      }
-      if (victim >= 0) {
-        auto r = std::move(qs_[victim].back());
-        qs_[victim].pop_back();
-        const double f = r->in.flops();
-        load_flops_[victim] = std::max(0.0, load_flops_[victim] - f);
-        load_flops_[cluster] += f;
-        ++executing_[cluster];
-        if (stolen) *stolen = true;
-        return r;
-      }
-    }
+    if (auto r = take_locked(cluster, allow_steal, stolen)) return r;
     if (stop_) return nullptr;
     cv_work_.wait(lock);
+  }
+}
+
+RequestQueue::PopResult RequestQueue::pop_wait(int cluster, bool allow_steal,
+                                               std::chrono::milliseconds timeout,
+                                               std::unique_ptr<Request>* out,
+                                               bool* stolen) {
+  std::unique_lock<std::mutex> lock(mu_);
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (;;) {
+    if (auto r = take_locked(cluster, allow_steal, stolen)) {
+      *out = std::move(r);
+      return PopResult::Item;
+    }
+    if (stop_) return PopResult::Shutdown;
+    if (cv_work_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      if (auto r = take_locked(cluster, allow_steal, stolen)) {
+        *out = std::move(r);
+        return PopResult::Item;
+      }
+      return stop_ ? PopResult::Shutdown : PopResult::Timeout;
+    }
   }
 }
 
@@ -74,7 +122,13 @@ void RequestQueue::finished(int cluster, double flops) {
 
 int RequestQueue::least_loaded() const {
   const std::lock_guard<std::mutex> lock(mu_);
-  int best = 0;
+  int best = -1;
+  for (int c = 0; c < static_cast<int>(qs_.size()); ++c) {
+    if (disabled_[c] != 0) continue;
+    if (best < 0 || load_flops_[c] < load_flops_[best]) best = c;
+  }
+  if (best >= 0) return best;
+  best = 0;  // every cluster quarantined: binding falls back to load only
   for (int c = 1; c < static_cast<int>(qs_.size()); ++c) {
     if (load_flops_[c] < load_flops_[best]) best = c;
   }
@@ -85,9 +139,26 @@ std::vector<int> RequestQueue::idle_clusters() const {
   const std::lock_guard<std::mutex> lock(mu_);
   std::vector<int> idle;
   for (int c = 0; c < static_cast<int>(qs_.size()); ++c) {
-    if (qs_[c].empty() && executing_[c] == 0) idle.push_back(c);
+    if (disabled_[c] == 0 && qs_[c].empty() && executing_[c] == 0) {
+      idle.push_back(c);
+    }
   }
   return idle;
+}
+
+void RequestQueue::set_enabled(int cluster, bool enabled) {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    FTM_EXPECTS(cluster >= 0 && cluster < static_cast<int>(qs_.size()));
+    disabled_[cluster] = enabled ? 0 : 1;
+  }
+  if (enabled) cv_work_.notify_all();
+}
+
+bool RequestQueue::enabled(int cluster) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  FTM_EXPECTS(cluster >= 0 && cluster < static_cast<int>(qs_.size()));
+  return disabled_[cluster] == 0;
 }
 
 void RequestQueue::wait_idle() const {
@@ -118,6 +189,17 @@ void RequestQueue::shutdown() {
   cv_idle_.notify_all();
 }
 
+bool RequestQueue::stopped() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return stop_;
+}
+
+bool RequestQueue::wait_stop_for(std::chrono::duration<double, std::milli> d)
+    const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return cv_work_.wait_for(lock, d, [&] { return stop_; });
+}
+
 std::size_t RequestQueue::pending() const {
   const std::lock_guard<std::mutex> lock(mu_);
   std::size_t n = 0;
@@ -140,12 +222,37 @@ double ms_between(std::chrono::steady_clock::time_point a,
   return std::chrono::duration<double, std::milli>(b - a).count();
 }
 
+void validate_resilience(const ResilienceOptions& rz) {
+  FTM_EXPECTS(rz.max_retries >= 0);
+  FTM_EXPECTS(rz.backoff_ms >= 0 && rz.backoff_multiplier >= 1.0);
+  FTM_EXPECTS(rz.deadline_ms >= 0);
+  FTM_EXPECTS(rz.quarantine_after >= 0);
+  FTM_EXPECTS(rz.probe_interval_ms > 0);
+}
+
+#if FTM_TRACE_ENABLED
+void trace_instant(const char* name, int cluster) {
+  if (trace::TraceSession* ts = trace::TraceSession::current()) {
+    trace::Event e;
+    e.name = name;
+    e.cat = "health";
+    e.ts = ts->host_now_us();
+    e.cluster = cluster;
+    e.track = trace::TrackKind::Runtime;
+    ts->record(e);
+  }
+}
+#else
+void trace_instant(const char*, int) {}
+#endif
+
 }  // namespace
 
 GemmRuntime::GemmRuntime(const RuntimeOptions& ro,
                          const isa::MachineConfig& mc)
     : ro_(ro), mc_(mc), queue_(ro.clusters) {
   FTM_EXPECTS(ro.clusters >= 1);
+  validate_resilience(ro_.resilience);
   const auto kernels = std::make_shared<kernelgen::KernelCache>(mc);
   clusters_.resize(static_cast<std::size_t>(ro.clusters));
   for (int c = 0; c < ro.clusters; ++c) {
@@ -153,6 +260,7 @@ GemmRuntime::GemmRuntime(const RuntimeOptions& ro,
     cs.owned = std::make_unique<core::FtimmEngine>(mc, kernels);
     cs.engine = cs.owned.get();
     cs.engine->cluster().set_id(c);
+    cs.engine->cluster().set_fault_injector(ro_.fault_injector);
     cs.lanes.assign(static_cast<std::size_t>(mc.cores_per_cluster), 0);
   }
   start_workers();
@@ -164,10 +272,14 @@ GemmRuntime::GemmRuntime(const std::vector<core::FtimmEngine*>& engines,
       mc_(first_machine(engines)),
       queue_(static_cast<int>(engines.size())) {
   ro_.clusters = static_cast<int>(engines.size());
+  validate_resilience(ro_.resilience);
   clusters_.resize(engines.size());
   for (std::size_t c = 0; c < engines.size(); ++c) {
     FTM_EXPECTS(engines[c] != nullptr);
     clusters_[c].engine = engines[c];
+    if (ro_.fault_injector != nullptr) {
+      clusters_[c].engine->cluster().set_fault_injector(ro_.fault_injector);
+    }
     clusters_[c].lanes.assign(static_cast<std::size_t>(mc_.cores_per_cluster),
                               0);
   }
@@ -189,13 +301,37 @@ void GemmRuntime::start_workers() {
 }
 
 void GemmRuntime::worker_loop(int cluster) {
+  if (!ro_.resilience.enabled) {
+    // Fail-fast mode: the original blocking loop, zero timed wakeups.
+    for (;;) {
+      bool stolen = false;
+      auto r = queue_.pop(cluster, ro_.work_stealing, &stolen);
+      if (!r) return;
+      process(cluster, std::move(r), stolen);
+    }
+  }
+  // Resilient mode: the timed pop doubles as the quarantine probe clock —
+  // a quarantined worker alternates between draining its own deque
+  // (diverting each request to a healthy cluster) and probing for
+  // recovery; a healthy worker just loops on the timeout.
+  const auto tick = std::chrono::milliseconds(std::max<long>(
+      1, std::lround(std::ceil(ro_.resilience.probe_interval_ms))));
   for (;;) {
+    const bool q = quarantined(cluster);
+    std::unique_ptr<Request> r;
     bool stolen = false;
-    auto r = queue_.pop(cluster, ro_.work_stealing, &stolen);
-    if (!r) return;
-    const double flops = r->in.flops();
-    execute(cluster, *r, stolen);
-    queue_.finished(cluster, flops);
+    const auto pr =
+        queue_.pop_wait(cluster, ro_.work_stealing && !q, tick, &r, &stolen);
+    if (pr == RequestQueue::PopResult::Shutdown) return;
+    if (pr == RequestQueue::PopResult::Item) {
+      if (q) {
+        divert(cluster, std::move(r));
+      } else {
+        process(cluster, std::move(r), stolen);
+      }
+    } else if (q) {
+      probe(cluster);
+    }
   }
 }
 
@@ -225,6 +361,18 @@ std::future<core::GemmResult> GemmRuntime::submit(
     const core::GemmInput& in, const core::FtimmOptions& opt) {
   validate(opt);
   FTM_EXPECTS(in.m >= 1 && in.n >= 1 && in.k >= 1);
+  // Malformed inputs are a caller bug: reject them here, synchronously,
+  // so a bad submission can never fault a worker thread. A functional
+  // submission must bind all three views, consistently with (m, n, k).
+  const bool any_view = in.a.data() != nullptr || in.b.data() != nullptr ||
+                        in.c.data() != nullptr;
+  if (any_view) {
+    FTM_EXPECTS(in.a.data() != nullptr && in.b.data() != nullptr &&
+                in.c.data() != nullptr);
+    FTM_EXPECTS(in.a.rows() == in.m && in.a.cols() == in.k);
+    FTM_EXPECTS(in.b.rows() == in.k && in.b.cols() == in.n);
+    FTM_EXPECTS(in.c.rows() == in.m && in.c.cols() == in.n);
+  }
   if (ro_.split_wide && clusters() > 1 &&
       in.flops() >= opt.wide_problem_flops &&
       in.m >= 2 * ro_.split_min_rows) {
@@ -301,54 +449,97 @@ std::future<core::GemmResult> GemmRuntime::submit_split(
   return fut;
 }
 
-void GemmRuntime::execute(int cluster, Request& req, bool stolen) {
+core::GemmResult GemmRuntime::run_on_cluster(int cluster, Request& req,
+                                             RequestStats& rs) {
+  ClusterState& cs = clusters_[static_cast<std::size_t>(cluster)];
+  core::GemmPlan plan;
+  if (ro_.plan_cache) {
+    const PlanKey key = PlanKey::of(req.in.m, req.in.n, req.in.k, req.opt);
+    if (auto hit = plans_.find(key)) {
+      plan = *hit;
+      rs.plan_cache_hit = true;
+    } else {
+      plan = cs.engine->plan(req.in.m, req.in.n, req.in.k, req.opt);
+      plans_.insert(key, plan);
+    }
+  } else {
+    plan = cs.engine->plan(req.in.m, req.in.n, req.in.k, req.opt);
+  }
+  return cs.engine->sgemm_planned(req.in, plan, req.opt);
+}
+
+void GemmRuntime::process(int cluster, std::unique_ptr<Request> req,
+                          bool stolen) {
+  const ResilienceOptions& res = ro_.resilience;
+  const double flops = req->in.flops();
   const auto t_start = std::chrono::steady_clock::now();
   RequestStats rs;
-  rs.id = req.id;
+  rs.id = req->id;
   rs.cluster = cluster;
   rs.stolen = stolen;
-  rs.shards = req.group ? req.group->shards : 0;
-  rs.queue_wait_ms = ms_between(req.submit_time, t_start);
+  rs.shards = req->group ? req->group->shards : 0;
+  rs.attempt = req->attempts;
+  rs.queue_wait_ms = ms_between(req->submit_time, t_start);
+
+  // Wall-clock deadline: checked before (re-)execution, never retried —
+  // the caller's time budget is gone no matter which cluster runs it.
+  // Not charged to the cluster's health either: it is not a cluster fault.
+  if (res.enabled && wall_deadline_passed(*req)) {
+    rs.deadline_missed = true;
+    {
+      const std::lock_guard<std::mutex> lock(stats_mu_);
+      ++deadline_misses_;
+    }
+    FTM_TRACE_COUNTER("runtime.deadline_misses", 1);
+    fail(std::move(req),
+         std::make_exception_ptr(FaultError(
+             FaultKind::DeadlineExceeded, cluster, -1,
+             "wall-clock deadline exceeded before dispatch")),
+         rs);
+    queue_.finished(cluster, flops);
+    return;
+  }
+  if (res.enabled && req->attempts == 0) snapshot_c(*req);
+  ++req->attempts;
 
   ClusterState& cs = clusters_[static_cast<std::size_t>(cluster)];
   core::GemmResult result;
   bool ok = false;
+  bool is_fault = false;
+  std::exception_ptr err;
   try {
-    core::GemmPlan plan;
-    if (ro_.plan_cache) {
-      const PlanKey key = PlanKey::of(req.in.m, req.in.n, req.in.k, req.opt);
-      if (auto hit = plans_.find(key)) {
-        plan = *hit;
-        rs.plan_cache_hit = true;
-      } else {
-        plan = cs.engine->plan(req.in.m, req.in.n, req.in.k, req.opt);
-        plans_.insert(key, plan);
+    result = run_on_cluster(cluster, *req, rs);
+    // Simulated-cycle deadline: known only after the (simulated) run. It
+    // is a retryable fault — a stalled cluster blows it while a healthy
+    // one may not — and it feeds the circuit breaker, which is exactly
+    // how a stalled-but-alive cluster ends up quarantined.
+    if (res.enabled && res.deadline_cycles > 0 &&
+        result.cycles > res.deadline_cycles) {
+      rs.deadline_missed = true;
+      {
+        const std::lock_guard<std::mutex> lock(stats_mu_);
+        ++deadline_misses_;
       }
-    } else {
-      plan = cs.engine->plan(req.in.m, req.in.n, req.in.k, req.opt);
+      FTM_TRACE_COUNTER("runtime.deadline_misses", 1);
+      throw FaultError(FaultKind::DeadlineExceeded, cluster, -1,
+                       "simulated-cycle deadline exceeded");
     }
-    result = cs.engine->sgemm_planned(req.in, plan, req.opt);
     ok = true;
+  } catch (const FaultError&) {
+    err = std::current_exception();
+    is_fault = true;
   } catch (...) {
-    if (req.group) {
-      const std::lock_guard<std::mutex> lock(req.group->mu);
-      --req.group->remaining;
-      if (!req.group->failed) {
-        req.group->failed = true;
-        req.group->promise.set_exception(std::current_exception());
-      }
-    } else {
-      req.promise.set_exception(std::current_exception());
-    }
+    err = std::current_exception();
   }
   rs.exec_ms = ms_between(t_start, std::chrono::steady_clock::now());
+  rs.fault = is_fault;
   if (ok) {
     rs.sim_cycles = result.cycles;
     rs.strategy = result.strategy;
   }
 #if FTM_TRACE_ENABLED
   if (trace::TraceSession* ts = trace::TraceSession::current()) {
-    const std::uint64_t t0 = ts->host_us(req.submit_time);
+    const std::uint64_t t0 = ts->host_us(req->submit_time);
     const std::uint64_t t1 = ts->host_us(t_start);
     trace::Event q;
     q.name = "queued";
@@ -357,7 +548,7 @@ void GemmRuntime::execute(int cluster, Request& req, bool stolen) {
     q.dur = t1 > t0 ? t1 - t0 : 0;
     q.cluster = cluster;
     q.track = trace::TrackKind::Runtime;
-    q.arg("id", req.id);
+    q.arg("id", req->id);
     ts->record(q);
     trace::Event x;
     x.name = "execute";
@@ -366,9 +557,11 @@ void GemmRuntime::execute(int cluster, Request& req, bool stolen) {
     x.dur = ts->host_now_us() - t1;
     x.cluster = cluster;
     x.track = trace::TrackKind::Runtime;
-    x.arg("id", req.id);
+    x.arg("id", req->id);
     x.arg("plan_hit", rs.plan_cache_hit ? 1 : 0);
     x.arg("sim_cycles", rs.sim_cycles);
+    x.arg("attempt", static_cast<std::uint64_t>(rs.attempt));
+    x.arg("fault", is_fault ? 1 : 0);
     ts->record(x);
     ts->count(rs.plan_cache_hit ? "runtime.plan_hits"
                                 : "runtime.plan_misses");
@@ -380,10 +573,289 @@ void GemmRuntime::execute(int cluster, Request& req, bool stolen) {
     ++executed_;
     ++cs.requests;
     if (stolen) ++steals_;
-    if (ok) charge_lanes(cs, req, result.cycles);
-    if (ro_.keep_request_log) log_.push_back(rs);
+    if (ok) charge_lanes(cs, *req, result.cycles);
   }
-  if (ok) deliver(req, result);
+  if (ok) {
+    if (res.enabled) record_success(cluster);
+    // Log before deliver: a caller woken by future::get() may read
+    // request_log() immediately and must see this request's entry.
+    log_request(rs);
+    deliver(*req, result);
+    queue_.finished(cluster, flops);
+    return;
+  }
+  if (is_fault) {
+    record_failure(cluster);
+    if (res.enabled) {
+      handle_fault(cluster, std::move(req), err, rs);
+    } else {
+      fail(std::move(req), err, rs);
+    }
+  } else {
+    // Deterministic error (e.g. a ContractViolation from deep inside the
+    // engine): retrying cannot help and must not mask a bug.
+    fail(std::move(req), err, rs);
+  }
+  queue_.finished(cluster, flops);
+}
+
+void GemmRuntime::handle_fault(int cluster, std::unique_ptr<Request> req,
+                               std::exception_ptr err, RequestStats& rs) {
+  const ResilienceOptions& res = ro_.resilience;
+  req->tried.push_back(cluster);
+  if (req->attempts <= res.max_retries) {
+    if (wall_deadline_passed(*req)) {
+      rs.deadline_missed = true;
+      {
+        const std::lock_guard<std::mutex> lock(stats_mu_);
+        ++deadline_misses_;
+      }
+      FTM_TRACE_COUNTER("runtime.deadline_misses", 1);
+      fail(std::move(req),
+           std::make_exception_ptr(FaultError(
+               FaultKind::DeadlineExceeded, cluster, -1,
+               "wall-clock deadline exceeded during retries")),
+           rs);
+      return;
+    }
+    const int target = pick_retry_target(*req);
+    if (target >= 0) {
+      const double delay_ms =
+          res.backoff_ms *
+          std::pow(res.backoff_multiplier, req->attempts - 1);
+      // Interruptible: a shutdown cuts the backoff short, and the
+      // try_push below then fails over to the terminal paths.
+      if (delay_ms > 0) {
+        queue_.wait_stop_for(
+            std::chrono::duration<double, std::milli>(delay_ms));
+      }
+      restore_c(*req);
+      req->bound_cluster = target;
+      if (queue_.try_push(target, req)) {
+        {
+          const std::lock_guard<std::mutex> lock(stats_mu_);
+          ++retries_;
+        }
+        FTM_TRACE_COUNTER("runtime.retries", 1);
+        log_request(rs);  // the faulted attempt; the retry logs its own row
+        return;
+      }
+    }
+  }
+  // Retries exhausted, no healthy cluster left, or the queue shut down.
+  if (res.cpu_fallback) {
+    run_cpu_fallback(std::move(req), rs);
+    return;
+  }
+  fail(std::move(req), err, rs);
+}
+
+void GemmRuntime::run_cpu_fallback(std::unique_ptr<Request> req,
+                                   RequestStats& rs) {
+  rs.cpu_fallback = true;
+  restore_c(*req);
+  core::GemmResult r;
+  r.cpu_fallback = true;
+  // No simulated cycles: the host CPU is outside the DSP cycle model, so
+  // the result carries the correctness payload (C) and the flag only.
+  try {
+    if (req->opt.functional && req->in.c.data() != nullptr) {
+      cpu::cpu_gemm(req->in.a, req->in.b, req->in.c);
+    }
+  } catch (...) {
+    fail(std::move(req), std::current_exception(), rs);
+    return;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(stats_mu_);
+    ++fallbacks_;
+  }
+  FTM_TRACE_COUNTER("runtime.fallbacks", 1);
+  trace_instant("cpu_fallback", rs.cluster);
+  log_request(rs);
+  deliver(*req, r);
+}
+
+void GemmRuntime::fail(std::unique_ptr<Request> req, std::exception_ptr err,
+                       RequestStats& rs) {
+  rs.failed = true;
+  restore_c(*req);  // a failed request leaves C exactly as submitted
+  log_request(rs);  // before the promise wakes the waiter
+  if (!req->group) {
+    {
+      const std::lock_guard<std::mutex> lock(stats_mu_);
+      ++failed_;
+    }
+    req->promise.set_exception(err);
+    return;
+  }
+  SplitGroup& g = *req->group;
+  const std::lock_guard<std::mutex> lock(g.mu);
+  --g.remaining;
+  if (!g.failed) {
+    g.failed = true;
+    {
+      const std::lock_guard<std::mutex> slock(stats_mu_);
+      ++failed_;
+    }
+    g.promise.set_exception(err);
+  }
+}
+
+void GemmRuntime::divert(int cluster, std::unique_ptr<Request> req) {
+  const double flops = req->in.flops();
+  const int target = queue_.least_loaded();
+  if (target != cluster && queue_.enabled(target)) {
+    req->bound_cluster = target;
+    if (queue_.try_push(target, req)) {
+      {
+        const std::lock_guard<std::mutex> lock(stats_mu_);
+        ++rerouted_;
+      }
+      FTM_TRACE_COUNTER("runtime.rerouted", 1);
+      queue_.finished(cluster, flops);
+      return;
+    }
+  }
+  // No healthy cluster, or shutdown drain: run it here anyway — quarantine
+  // is routing policy, and the fault paths still protect the result.
+  process(cluster, std::move(req), false);
+}
+
+void GemmRuntime::probe(int cluster) {
+  {
+    const std::lock_guard<std::mutex> lock(stats_mu_);
+    ++clusters_[static_cast<std::size_t>(cluster)].health.probes;
+  }
+  FTM_TRACE_COUNTER("runtime.probes", 1);
+  const ResilienceOptions& res = ro_.resilience;
+  bool alive = false;
+  try {
+    // Timing-only canary GEMM on one core: exercises the dead-cluster
+    // check, the DMA fault path, and (against deadline_cycles) the stall
+    // scaling, without touching caller data or the lane clocks.
+    core::FtimmOptions opt = ro_.gemm;
+    opt.functional = false;
+    opt.cores = 1;
+    const core::GemmInput in = core::GemmInput::shape_only(64, 64, 64);
+    ClusterState& cs = clusters_[static_cast<std::size_t>(cluster)];
+    const core::GemmPlan plan = cs.engine->plan(in.m, in.n, in.k, opt);
+    const core::GemmResult r = cs.engine->sgemm_planned(in, plan, opt);
+    alive = res.deadline_cycles == 0 || r.cycles <= res.deadline_cycles;
+  } catch (...) {
+    alive = false;
+  }
+  if (!alive) return;
+  std::chrono::steady_clock::time_point since{};
+  {
+    const std::lock_guard<std::mutex> lock(stats_mu_);
+    Health& h = clusters_[static_cast<std::size_t>(cluster)].health;
+    if (!h.quarantined) return;
+    h.quarantined = false;
+    h.consecutive = 0;
+    since = h.since;
+  }
+  queue_.set_enabled(cluster, true);
+  FTM_TRACE_COUNTER("runtime.recoveries", 1);
+#if FTM_TRACE_ENABLED
+  if (trace::TraceSession* ts = trace::TraceSession::current()) {
+    trace::Event e;
+    e.name = "quarantined";
+    e.cat = "health";
+    e.ts = ts->host_us(since);
+    const std::uint64_t now = ts->host_now_us();
+    e.dur = now > e.ts ? now - e.ts : 0;
+    e.cluster = cluster;
+    e.track = trace::TrackKind::Runtime;
+    ts->record(e);
+  }
+#endif
+}
+
+void GemmRuntime::record_success(int cluster) {
+  const std::lock_guard<std::mutex> lock(stats_mu_);
+  clusters_[static_cast<std::size_t>(cluster)].health.consecutive = 0;
+}
+
+void GemmRuntime::record_failure(int cluster) {
+  const ResilienceOptions& res = ro_.resilience;
+  bool trip = false;
+  {
+    const std::lock_guard<std::mutex> lock(stats_mu_);
+    ++faults_;
+    Health& h = clusters_[static_cast<std::size_t>(cluster)].health;
+    ++h.failures;
+    ++h.consecutive;
+    if (res.enabled && res.quarantine_after > 0 && !h.quarantined &&
+        h.consecutive >= res.quarantine_after) {
+      h.quarantined = true;
+      ++h.quarantines;
+      h.since = std::chrono::steady_clock::now();
+      trip = true;
+    }
+  }
+  FTM_TRACE_COUNTER("runtime.faults", 1);
+  if (trip) {
+    queue_.set_enabled(cluster, false);
+    FTM_TRACE_COUNTER("runtime.quarantines", 1);
+    trace_instant("quarantine", cluster);
+  }
+}
+
+int GemmRuntime::pick_retry_target(const Request& req) const {
+  const std::lock_guard<std::mutex> lock(stats_mu_);
+  const int last = req.tried.empty() ? -1 : req.tried.back();
+  const auto tried = [&](int c) {
+    return std::find(req.tried.begin(), req.tried.end(), c) !=
+           req.tried.end();
+  };
+  // Prefer a healthy cluster this request has not faulted on; then any
+  // healthy cluster other than the one that just failed; the just-failed
+  // cluster itself only when it is the sole healthy one left.
+  int fallback = -1;
+  for (int c = 0; c < clusters(); ++c) {
+    if (clusters_[static_cast<std::size_t>(c)].health.quarantined) continue;
+    if (!tried(c)) return c;
+    if (fallback < 0 && c != last) fallback = c;
+  }
+  if (fallback >= 0) return fallback;
+  if (last >= 0 &&
+      !clusters_[static_cast<std::size_t>(last)].health.quarantined) {
+    return last;
+  }
+  return -1;
+}
+
+bool GemmRuntime::wall_deadline_passed(const Request& req) const {
+  const double budget = ro_.resilience.deadline_ms;
+  if (budget <= 0) return false;
+  return ms_between(req.submit_time, std::chrono::steady_clock::now()) >
+         budget;
+}
+
+void GemmRuntime::snapshot_c(Request& req) const {
+  const MatrixView& c = req.in.c;
+  if (!req.opt.functional || c.data() == nullptr) return;
+  req.c_snapshot.resize(c.rows() * c.cols());
+  for (std::size_t r = 0; r < c.rows(); ++r) {
+    std::memcpy(req.c_snapshot.data() + r * c.cols(), c.row(r),
+                c.cols() * sizeof(float));
+  }
+}
+
+void GemmRuntime::restore_c(Request& req) const {
+  const MatrixView& c = req.in.c;
+  if (req.c_snapshot.empty() || c.data() == nullptr) return;
+  for (std::size_t r = 0; r < c.rows(); ++r) {
+    std::memcpy(c.row(r), req.c_snapshot.data() + r * c.cols(),
+                c.cols() * sizeof(float));
+  }
+}
+
+void GemmRuntime::log_request(const RequestStats& rs) {
+  if (!ro_.keep_request_log) return;
+  const std::lock_guard<std::mutex> lock(stats_mu_);
+  log_.push_back(rs);
 }
 
 void GemmRuntime::charge_lanes(ClusterState& cs, const Request& req,
@@ -426,6 +898,7 @@ void GemmRuntime::deliver(Request& req, const core::GemmResult& r) {
   m.kernel_calls += r.kernel_calls;
   m.strategy = r.strategy;
   m.cores = r.cores;
+  m.cpu_fallback = m.cpu_fallback || r.cpu_fallback;
   if (--g.remaining == 0 && !g.failed) {
 #if FTM_TRACE_ENABLED
     if (trace::TraceSession* ts = trace::TraceSession::current()) {
@@ -535,7 +1008,17 @@ BatchResult GemmRuntime::run_all(std::span<const core::GemmInput> problems,
     enqueue(problems[small[idx]], sub, c, W);
   }
 
-  for (auto& f : futs) f.get();  // rethrows the first failure
+  // Resolve every future before rethrowing, so a failure never leaves
+  // sibling requests racing against this frame's teardown.
+  std::exception_ptr first_err;
+  for (auto& f : futs) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_err) first_err = std::current_exception();
+    }
+  }
+  if (first_err) std::rethrow_exception(first_err);
 
   {
     const std::lock_guard<std::mutex> lock(stats_mu_);
@@ -558,21 +1041,37 @@ core::FtimmEngine& GemmRuntime::engine(int cluster) {
   return *clusters_[static_cast<std::size_t>(cluster)].engine;
 }
 
+bool GemmRuntime::quarantined(int cluster) const {
+  FTM_EXPECTS(cluster >= 0 && cluster < clusters());
+  const std::lock_guard<std::mutex> lock(stats_mu_);
+  return clusters_[static_cast<std::size_t>(cluster)].health.quarantined;
+}
+
 RuntimeStats GemmRuntime::stats() const {
   const std::lock_guard<std::mutex> lock(stats_mu_);
   RuntimeStats s;
   s.submitted = submitted_;
   s.completed = completed_;
+  s.failed = failed_;
   s.executed = executed_;
   s.plan_hits = plans_.hits();
   s.plan_misses = plans_.misses();
   s.steals = steals_;
   s.splits = splits_;
+  s.faults = faults_;
+  s.retries = retries_;
+  s.fallbacks = fallbacks_;
+  s.deadline_misses = deadline_misses_;
+  s.rerouted = rerouted_;
   for (const auto& cs : clusters_) {
     s.cluster_requests.push_back(cs.requests);
     std::uint64_t mk = 0;
     for (const std::uint64_t t : cs.lanes) mk = std::max(mk, t);
     s.cluster_busy_cycles.push_back(mk);
+    s.cluster_failures.push_back(cs.health.failures);
+    s.cluster_quarantines.push_back(cs.health.quarantines);
+    s.cluster_probes.push_back(cs.health.probes);
+    s.cluster_quarantined.push_back(cs.health.quarantined);
   }
   return s;
 }
@@ -607,8 +1106,12 @@ Table GemmRuntime::report() const {
     for (const RequestStats& r : log_) waits.push_back(r.queue_wait_ms);
   }
   Table t({"cluster", "requests", "busy_cycles", "plan_hits", "plan_misses",
-           "steals", "splits", "wait_p50_ms", "wait_p95_ms"});
+           "steals", "splits", "faults", "retries", "fallbacks",
+           "quarantines", "probes", "health", "wait_p50_ms", "wait_p95_ms"});
+  std::uint64_t total_q = 0, total_p = 0;
   for (std::size_t c = 0; c < s.cluster_requests.size(); ++c) {
+    total_q += s.cluster_quarantines[c];
+    total_p += s.cluster_probes[c];
     t.begin_row()
         .cell(static_cast<long long>(c))
         .cell(static_cast<std::size_t>(s.cluster_requests[c]))
@@ -617,6 +1120,12 @@ Table GemmRuntime::report() const {
         .cell("")
         .cell("")
         .cell("")
+        .cell(static_cast<std::size_t>(s.cluster_failures[c]))
+        .cell("")
+        .cell("")
+        .cell(static_cast<std::size_t>(s.cluster_quarantines[c]))
+        .cell(static_cast<std::size_t>(s.cluster_probes[c]))
+        .cell(s.cluster_quarantined[c] ? "quarantined" : "ok")
         .cell("")
         .cell("");
   }
@@ -628,6 +1137,12 @@ Table GemmRuntime::report() const {
       .cell(static_cast<std::size_t>(s.plan_misses))
       .cell(static_cast<std::size_t>(s.steals))
       .cell(static_cast<std::size_t>(s.splits))
+      .cell(static_cast<std::size_t>(s.faults))
+      .cell(static_cast<std::size_t>(s.retries))
+      .cell(static_cast<std::size_t>(s.fallbacks))
+      .cell(static_cast<std::size_t>(total_q))
+      .cell(static_cast<std::size_t>(total_p))
+      .cell("")
       .cell(percentile(waits, 50), 3)
       .cell(percentile(waits, 95), 3);
   return t;

@@ -8,6 +8,7 @@
 #include <memory>
 #include <vector>
 
+#include "ftm/fault/fault.hpp"
 #include "ftm/isa/machine.hpp"
 #include "ftm/sim/core.hpp"
 #include "ftm/sim/dma.hpp"
@@ -46,6 +47,14 @@ class Cluster {
   void set_functional(bool f) { functional_ = f; }
   bool functional() const { return functional_; }
 
+  /// Attach a fault injector (non-owning; nullptr detaches). With one
+  /// attached, dma() consults it on every transfer (injected errors throw
+  /// ftm::FaultError before any bytes move), reset() refuses to start a
+  /// GEMM on a dead cluster, and the injector's per-cluster stall
+  /// multiplier is synced onto every core timeline at reset().
+  void set_fault_injector(fault::FaultInjector* fi) { fault_ = fi; }
+  fault::FaultInjector* fault_injector() const { return fault_; }
+
   /// Issue a DMA on core `c`'s engine: charges cycles on its timeline and,
   /// in functional mode, performs the strided copy src -> dst.
   DmaHandle dma(int c, const DmaRequest& req, const std::uint8_t* src,
@@ -83,6 +92,7 @@ class Cluster {
   Scratchpad gsm_;
   int active_cores_ = 1;
   bool functional_ = true;
+  fault::FaultInjector* fault_ = nullptr;
   std::uint64_t trace_epoch_ = 0;
 };
 

@@ -60,6 +60,16 @@ class CoreTimeline {
     if (t > now_) now_ = t;
   }
 
+  /// Stall-injection hook: every subsequent compute/DMA cycle charge is
+  /// multiplied by `s` (>= 1). Cluster::reset() syncs this from the fault
+  /// injector's per-cluster stall multiplier; 1.0 (the default) keeps the
+  /// arithmetic byte-identical to an uninjected build.
+  void set_time_scale(double s) {
+    FTM_EXPECTS(s >= 1.0);
+    scale_ = s;
+  }
+  double time_scale() const { return scale_; }
+
   /// Queue a transfer costing `cost` cycles; returns its handle.
   DmaHandle dma_start(std::uint64_t cost);
   /// Block the core until transfer `h` has completed.
@@ -81,7 +91,14 @@ class CoreTimeline {
   void reset();
 
  private:
+  std::uint64_t scaled(std::uint64_t cycles) const {
+    return scale_ == 1.0 ? cycles
+                         : static_cast<std::uint64_t>(
+                               static_cast<double>(cycles) * scale_);
+  }
+
   std::uint64_t now_ = 0;
+  double scale_ = 1.0;           ///< stall slowdown; 1.0 = healthy
   std::uint64_t dma_free_ = 0;   ///< DMA engine busy-until.
   std::vector<std::uint64_t> dma_done_at_;
   std::uint64_t dma_total_ = 0;

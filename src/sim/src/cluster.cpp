@@ -60,7 +60,12 @@ void Cluster::set_active_cores(int n) {
 DmaHandle Cluster::dma(int c, const DmaRequest& req, const std::uint8_t* src,
                        std::uint8_t* dst) {
   FTM_EXPECTS(c >= 0 && c < num_cores());
-  const std::uint64_t cost = dma_cost_cycles(mc_, req, active_cores_);
+  std::uint64_t cost = dma_cost_cycles(mc_, req, active_cores_);
+  if (fault_ != nullptr) {
+    // May throw FaultError (DmaError / SpmEcc / ClusterDead) before any
+    // bytes move, or return a timeout penalty charged on the timeline.
+    cost += fault_->on_dma(id_, c, req.total_bytes());
+  }
   if (functional_) {
     FTM_EXPECTS(src != nullptr && dst != nullptr);
     dma_copy(req, src, dst);
@@ -117,6 +122,16 @@ void Cluster::reset() {
   }
   for (auto& t : timelines_) t.reset();
   gsm_.reset();
+  const double stall = fault_ != nullptr ? fault_->stall_multiplier(id_) : 1.0;
+  if (stall != timelines_.front().time_scale()) {
+    for (auto& t : timelines_) t.set_time_scale(stall);
+  }
+  if (fault_ != nullptr) {
+    // A GEMM must not even start on a dead cluster; a stalled one runs,
+    // but every cycle it charges is scaled by the stall multiplier.
+    fault_->check_alive(id_);
+    fault_->note_stalled_run(id_);
+  }
 }
 
 double Cluster::cycles_to_seconds(std::uint64_t cycles) const {

@@ -35,6 +35,7 @@ std::uint64_t dma_cost_cycles(const isa::MachineConfig& mc,
 }
 
 DmaHandle CoreTimeline::dma_start(std::uint64_t cost) {
+  cost = scaled(cost);
   // The engine starts this transfer when it is free, independent of the
   // core clock (descriptors are assumed pre-queued by the ping-pong code).
   const std::uint64_t start = dma_free_ > now_ ? dma_free_ : now_;
@@ -61,6 +62,7 @@ std::uint64_t CoreTimeline::done_time(DmaHandle h) const {
 }
 
 void CoreTimeline::compute(std::uint64_t cycles) {
+  cycles = scaled(cycles);
   now_ += cycles;
   compute_total_ += cycles;
 }

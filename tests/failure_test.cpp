@@ -5,8 +5,10 @@
 
 #include "ftm/core/ftimm.hpp"
 #include "ftm/core/strategies.hpp"
+#include "ftm/fault/fault.hpp"
 #include "ftm/kernelgen/generator.hpp"
 #include "ftm/kernelgen/microkernel.hpp"
+#include "ftm/runtime/runtime.hpp"
 #include "ftm/sim/cluster.hpp"
 #include "ftm/workload/generators.hpp"
 
@@ -139,6 +141,101 @@ TEST(Failure, ProgramWithBadUnitAssignmentRejectedAtRun) {
   b.ops = {i};
   p.bundles = {b};
   EXPECT_THROW(core.run(p), ContractViolation);
+}
+
+// --- async submission paths (ISSUE 3 satellite) ----------------------------
+//
+// submit() must reject malformed work synchronously (or, for defects only
+// detectable during execution, through the future) — a bad submission may
+// never fault a worker thread or be "healed" by the retry machinery.
+
+TEST(Failure, AsyncSubmitRejectsMalformedInputSynchronously) {
+  runtime::RuntimeOptions ro;
+  ro.clusters = 2;
+  runtime::GemmRuntime rt(ro);
+  workload::GemmProblem p = workload::make_problem(64, 32, 32, 3);
+
+  // Dimensions inconsistent with the bound views (bypassing the checks in
+  // GemmInput::bound by mutating the already-validated input).
+  core::GemmInput in =
+      core::GemmInput::bound(p.a.view(), p.b.view(), p.c.view());
+  in.m = 128;
+  EXPECT_THROW(rt.submit(in), ContractViolation);
+  in.m = 64;
+  in.a = ConstMatrixView();  // functional submission with a missing view
+  EXPECT_THROW(rt.submit(in), ContractViolation);
+
+  // Degenerate shapes and bad per-request options.
+  EXPECT_THROW(rt.submit(core::GemmInput::shape_only(0, 16, 16)),
+               ContractViolation);
+  core::FtimmOptions bad;
+  bad.cores = 9;
+  EXPECT_THROW(rt.submit(core::GemmInput::shape_only(64, 16, 16), bad),
+               ContractViolation);
+  bad.cores = 8;
+  bad.wide_problem_flops = 0;
+  EXPECT_THROW(rt.submit(core::GemmInput::shape_only(64, 16, 16), bad),
+               ContractViolation);
+
+  // The runtime is unharmed: a valid submission still resolves.
+  const core::GemmResult r =
+      rt.submit(core::GemmInput::bound(p.a.view(), p.b.view(), p.c.view()))
+          .get();
+  EXPECT_GT(r.cycles, 0u);
+  EXPECT_EQ(rt.stats().failed, 0u);
+}
+
+TEST(Failure, ContractViolationIsNeverRetried) {
+  // A worker-side ContractViolation (only detectable during execution —
+  // functional options with no bound views) must surface through the
+  // future untouched by the resilience layer: no retry, no CPU fallback,
+  // no cluster-health penalty.
+  runtime::RuntimeOptions ro;
+  ro.clusters = 2;
+  ro.resilience.enabled = true;
+  runtime::GemmRuntime rt(ro);
+
+  core::FtimmOptions opt;
+  opt.functional = true;
+  auto fut = rt.submit(core::GemmInput::shape_only(64, 32, 32), opt);
+  EXPECT_THROW(fut.get(), ContractViolation);
+
+  const runtime::RuntimeStats s = rt.stats();
+  EXPECT_EQ(s.failed, 1u);
+  EXPECT_EQ(s.retries, 0u);
+  EXPECT_EQ(s.fallbacks, 0u);
+  EXPECT_EQ(s.faults, 0u);  // a caller bug is not a cluster fault
+
+  // The worker thread survived and keeps serving.
+  opt.functional = false;
+  EXPECT_GT(rt.submit(core::GemmInput::shape_only(64, 32, 32), opt)
+                .get()
+                .cycles,
+            0u);
+}
+
+TEST(Failure, DeadClusterFaultIsTypedAndAttributed) {
+  fault::FaultPlan plan;
+  plan.cluster(0).dead = true;
+  fault::FaultInjector fi(plan);
+  runtime::RuntimeOptions ro;
+  ro.clusters = 1;
+  ro.fault_injector = &fi;  // fail-fast: resilience off
+  runtime::GemmRuntime rt(ro);
+
+  core::FtimmOptions opt;
+  opt.functional = false;
+  auto fut = rt.submit(core::GemmInput::shape_only(64, 32, 32), opt);
+  try {
+    fut.get();
+    FAIL() << "dead cluster must produce a typed FaultError";
+  } catch (const FaultError& e) {
+    EXPECT_EQ(e.kind(), FaultKind::ClusterDead);
+    EXPECT_EQ(e.cluster(), 0);
+  }
+  const runtime::RuntimeStats s = rt.stats();
+  EXPECT_EQ(s.failed, 1u);
+  EXPECT_EQ(s.faults, 1u);  // counted even with resilience off
 }
 
 }  // namespace

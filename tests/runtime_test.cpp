@@ -1,10 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <future>
 #include <vector>
 
 #include "ftm/core/batched.hpp"
 #include "ftm/cpu/cpu_gemm.hpp"
+#include "ftm/fault/fault.hpp"
 #include "ftm/runtime/runtime.hpp"
 #include "ftm/workload/generators.hpp"
 
@@ -180,6 +182,102 @@ TEST(Runtime, SplitFunctionalResultMatchesReference) {
   EXPECT_LT(max_rel_diff(p.c.view(), expect.view()), gemm_tolerance(p.k));
 }
 
+// --- SplitGroup failure path (ISSUE 3 regression) --------------------------
+//
+// A shard that faults must fail the merged future with the typed error
+// (fail-fast mode) or be re-dispatched to a healthy cluster (resilient
+// mode) — and in neither case may the parent future hang.
+
+TEST(Runtime, SplitShardFaultFailsGroupTypedWhenFailFast) {
+  fault::FaultPlan plan;
+  plan.cluster(2).dead = true;
+  fault::FaultInjector fi(plan);
+  RuntimeOptions ro;
+  ro.clusters = 4;
+  ro.split_min_rows = 512;
+  ro.gemm.wide_problem_flops = 1e6;
+  ro.work_stealing = false;  // pin each shard to its idle-cluster target
+  ro.fault_injector = &fi;
+  GemmRuntime rt(ro);
+
+  workload::GemmProblem p = workload::make_problem(4096, 32, 64, 77);
+  auto fut = rt.submit(GemmInput::bound(p.a.view(), p.b.view(), p.c.view()));
+  try {
+    fut.get();
+    FAIL() << "shard on the dead cluster must fail the group";
+  } catch (const FaultError& e) {
+    EXPECT_EQ(e.kind(), FaultKind::ClusterDead);
+    EXPECT_EQ(e.cluster(), 2);
+  }
+  rt.wait_idle();  // sibling shards drain; nothing is left in flight
+  const RuntimeStats s = rt.stats();
+  EXPECT_EQ(s.splits, 1u);
+  EXPECT_EQ(s.failed, 1u);
+  EXPECT_EQ(s.completed, 0u);
+}
+
+TEST(Runtime, SplitShardFaultIsRedispatchedWhenResilient) {
+  fault::FaultPlan plan;
+  plan.cluster(2).dead = true;
+  fault::FaultInjector fi(plan);
+  RuntimeOptions ro;
+  ro.clusters = 4;
+  ro.split_min_rows = 512;
+  ro.gemm.wide_problem_flops = 1e6;
+  ro.work_stealing = false;
+  ro.fault_injector = &fi;
+  ro.resilience.enabled = true;
+  GemmRuntime rt(ro);
+
+  workload::GemmProblem p = workload::make_problem(4096, 32, 64, 77);
+  HostMatrix expect(p.m, p.n);
+  for (std::size_t i = 0; i < p.m; ++i) {
+    for (std::size_t j = 0; j < p.n; ++j) expect.at(i, j) = p.c.at(i, j);
+  }
+  cpu::reference_gemm(p.a.view(), p.b.view(), expect.view());
+
+  const GemmResult r =
+      rt.submit(GemmInput::bound(p.a.view(), p.b.view(), p.c.view())).get();
+  EXPECT_GT(r.cycles, 0u);
+  EXPECT_LT(max_rel_diff(p.c.view(), expect.view()), gemm_tolerance(p.k));
+  const RuntimeStats s = rt.stats();
+  EXPECT_EQ(s.splits, 1u);
+  EXPECT_EQ(s.completed, 1u);
+  EXPECT_EQ(s.failed, 0u);
+  EXPECT_GE(s.retries + s.fallbacks, 1u);  // the dead shard went elsewhere
+}
+
+// --- resilience scheduling edges (ISSUE 3) ---------------------------------
+
+TEST(Runtime, WaitIdleBlocksThroughRetryBackoff) {
+  fault::FaultPlan plan;
+  plan.cluster(0).dead = true;  // least_loaded ties to 0: first bind faults
+  fault::FaultInjector fi(plan);
+  RuntimeOptions ro;
+  ro.clusters = 2;
+  ro.work_stealing = false;
+  ro.fault_injector = &fi;
+  ro.resilience.enabled = true;
+  ro.resilience.backoff_ms = 60;
+  ro.resilience.backoff_multiplier = 1.0;
+  GemmRuntime rt(ro);
+
+  workload::GemmProblem p = workload::make_problem(64, 32, 32, 5);
+  const auto t0 = std::chrono::steady_clock::now();
+  auto fut = rt.submit(GemmInput::bound(p.a.view(), p.b.view(), p.c.view()));
+  rt.wait_idle();
+  const double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+  // The faulted request stays "executing" through its backoff, so
+  // wait_idle() cannot return before the retry has fully resolved.
+  EXPECT_EQ(fut.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  EXPECT_GE(ms, 50.0);
+  EXPECT_GT(fut.get().cycles, 0u);
+  EXPECT_GE(rt.stats().retries, 1u);
+}
+
 // --- request queue ---------------------------------------------------------
 
 std::unique_ptr<Request> make_queue_request(std::uint64_t id, std::size_t m) {
@@ -229,6 +327,93 @@ TEST(RequestQueue, StealsNewestFromMostLoadedVictim) {
   EXPECT_EQ(r->id, 2u);
   q.finished(1, r->in.flops());
   EXPECT_EQ(q.pop(1, true, &stolen), nullptr);
+}
+
+TEST(RequestQueue, StealNeverTakesFromQuarantinedVictim) {
+  RequestQueue q(2);
+  q.push(0, make_queue_request(1, 4096));
+  q.push(0, make_queue_request(2, 4096));
+  q.set_enabled(0, false);
+  EXPECT_FALSE(q.enabled(0));
+
+  std::unique_ptr<Request> r;
+  bool stolen = false;
+  // Cluster 1 is idle and allowed to steal — but 0 is quarantined, so its
+  // queued work is off limits.
+  EXPECT_EQ(q.pop_wait(1, true, std::chrono::milliseconds(20), &r, &stolen),
+            RequestQueue::PopResult::Timeout);
+  EXPECT_EQ(r, nullptr);
+
+  // The quarantined cluster's own worker still drains its deque...
+  EXPECT_EQ(q.pop_wait(0, false, std::chrono::milliseconds(20), &r, &stolen),
+            RequestQueue::PopResult::Item);
+  EXPECT_EQ(r->id, 1u);
+  q.finished(0, r->in.flops());
+
+  // ...and re-enabling makes the remaining entry stealable again.
+  q.set_enabled(0, true);
+  EXPECT_EQ(q.pop_wait(1, true, std::chrono::milliseconds(20), &r, &stolen),
+            RequestQueue::PopResult::Item);
+  EXPECT_EQ(r->id, 2u);
+  EXPECT_TRUE(stolen);
+  q.finished(1, r->in.flops());
+}
+
+TEST(RequestQueue, QuarantinedClusterDrainsOwnQueueAfterShutdown) {
+  RequestQueue q(2);
+  q.set_enabled(0, false);
+  q.push(0, make_queue_request(1, 64));  // queued work held under quarantine
+  q.shutdown();
+  EXPECT_TRUE(q.stopped());
+
+  // Shutdown must not strand the quarantined cluster's queued request.
+  std::unique_ptr<Request> r;
+  bool stolen = false;
+  EXPECT_EQ(q.pop_wait(0, false, std::chrono::milliseconds(20), &r, &stolen),
+            RequestQueue::PopResult::Item);
+  EXPECT_EQ(r->id, 1u);
+  q.finished(0, r->in.flops());
+  EXPECT_EQ(q.pop_wait(0, false, std::chrono::milliseconds(5), &r, &stolen),
+            RequestQueue::PopResult::Shutdown);
+
+  // Retry re-pushes are refused after shutdown, leaving the request with
+  // the caller (who fails it over to the CPU or a typed error).
+  auto extra = make_queue_request(2, 64);
+  EXPECT_FALSE(q.try_push(1, extra));
+  ASSERT_NE(extra, nullptr);  // ownership retained on refusal
+  EXPECT_EQ(extra->id, 2u);
+}
+
+TEST(RequestQueue, LeastLoadedPrefersEnabledClusters) {
+  RequestQueue q(3);
+  q.push(1, make_queue_request(1, 4096));
+  EXPECT_EQ(q.least_loaded(), 0);
+  q.set_enabled(0, false);
+  EXPECT_EQ(q.least_loaded(), 2);
+  q.set_enabled(2, false);
+  EXPECT_EQ(q.least_loaded(), 1);  // only enabled cluster, however loaded
+  q.set_enabled(1, false);
+  EXPECT_EQ(q.least_loaded(), 0);  // all disabled: load-only fallback
+  const auto idle = q.idle_clusters();
+  EXPECT_TRUE(idle.empty());  // disabled clusters are never "idle"
+  bool stolen = false;
+  q.shutdown();
+  auto r = q.pop(1, false, &stolen);
+  ASSERT_NE(r, nullptr);
+  q.finished(1, r->in.flops());
+}
+
+TEST(RequestQueue, WaitStopForWakesOnShutdown) {
+  RequestQueue q(1);
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(q.wait_stop_for(std::chrono::duration<double, std::milli>(5)));
+  q.shutdown();
+  EXPECT_TRUE(q.wait_stop_for(
+      std::chrono::duration<double, std::milli>(60'000)));  // returns now
+  const double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+  EXPECT_LT(ms, 10'000.0);
 }
 
 // --- option validation and error propagation -------------------------------
