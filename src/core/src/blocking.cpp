@@ -237,6 +237,10 @@ KBlocks adjust_k_blocks(KBlocks b, std::size_t m, std::size_t n,
     FTM_ASSERT(b.mg > b.ma);
     b.mg -= b.ma;
   }
+  // The reduction walks the C panel in reduce_rows chunks; a chunk wider
+  // than the (possibly shrunken) m_g both wastes the two staged AM chunk
+  // buffers and makes the chunk loop degenerate.
+  b.reduce_rows = std::max<std::size_t>(1, std::min(b.reduce_rows, b.mg));
 
   check_k_blocks(b, mc);
   return b;

@@ -61,6 +61,16 @@ GemmPlan FtimmEngine::plan(std::size_t m, std::size_t n, std::size_t k,
                            const FtimmOptions& opt) const {
   FTM_EXPECTS(m >= 1 && n >= 1 && k >= 1);
   FTM_EXPECTS(opt.cores >= 1 && opt.cores <= mc_.cores_per_cluster);
+  // Tuned plans only replace the fully automatic path: a forced strategy
+  // or pinned (non-dynamic) blocks is an explicit caller decision.
+  if (provider_ != nullptr && opt.force == Strategy::Auto &&
+      opt.dynamic_blocks) {
+    if (auto tuned = provider_->lookup(m, n, k, opt)) {
+      FTM_TRACE_COUNTER("plan.tuned", 1);
+      FTM_TRACE_COUNTER("plan.built", 1);
+      return *tuned;
+    }
+  }
   GemmPlan p;
   p.strategy = opt.force;
   if (p.strategy == Strategy::Auto) p.strategy = choose_strategy(m, n, k);
@@ -87,13 +97,17 @@ GemmResult FtimmEngine::sgemm_planned(const GemmInput& in,
                                       const FtimmOptions& opt) {
   FTM_EXPECTS(in.m >= 1 && in.n >= 1 && in.k >= 1);
   FTM_EXPECTS(opt.cores >= 1 && opt.cores <= mc_.cores_per_cluster);
+  // A tuned DMA buffering depth travels with the plan and overrides the
+  // caller's ping-pong setting (0 = plan has no opinion).
+  FtimmOptions eff = opt;
+  if (plan.dma_buffers > 0) eff.pingpong = plan.dma_buffers >= 2;
   switch (plan.strategy) {
     case Strategy::ParallelM:
-      return run_strategy_m(cluster_, *cache_, in, plan.mblocks, opt);
+      return run_strategy_m(cluster_, *cache_, in, plan.mblocks, eff);
     case Strategy::ParallelK:
-      return run_strategy_k(cluster_, *cache_, in, plan.kblocks, opt);
+      return run_strategy_k(cluster_, *cache_, in, plan.kblocks, eff);
     case Strategy::TGemm:
-      return run_tgemm(cluster_, *cache_, in, plan.tblocks, opt);
+      return run_tgemm(cluster_, *cache_, in, plan.tblocks, eff);
     case Strategy::Auto:
       break;
   }

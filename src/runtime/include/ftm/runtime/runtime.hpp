@@ -92,6 +92,10 @@ struct RuntimeOptions {
   /// Optional fault injector, installed into every cluster's simulator
   /// (non-owning; must outlive the runtime). nullptr = no injection.
   fault::FaultInjector* fault_injector = nullptr;
+  /// Optional tuned-plan source (e.g. a ftm::tune::TuningCache), installed
+  /// into every cluster's engine; shared and thread-safe like the
+  /// KernelCache. nullptr = analytic paper-default plans only.
+  std::shared_ptr<const core::PlanProvider> tuning;
 };
 
 /// Result of run_all(): the simulated makespan of a whole batch.
@@ -236,6 +240,7 @@ class GemmRuntime {
   std::uint64_t fallbacks_ = 0;
   std::uint64_t deadline_misses_ = 0;
   std::uint64_t rerouted_ = 0;
+  std::uint64_t tuned_plans_ = 0;
   std::vector<RequestStats> log_;
 };
 

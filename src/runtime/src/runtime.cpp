@@ -261,6 +261,7 @@ GemmRuntime::GemmRuntime(const RuntimeOptions& ro,
     cs.engine = cs.owned.get();
     cs.engine->cluster().set_id(c);
     cs.engine->cluster().set_fault_injector(ro_.fault_injector);
+    if (ro_.tuning) cs.engine->set_plan_provider(ro_.tuning);
     cs.lanes.assign(static_cast<std::size_t>(mc.cores_per_cluster), 0);
   }
   start_workers();
@@ -280,6 +281,7 @@ GemmRuntime::GemmRuntime(const std::vector<core::FtimmEngine*>& engines,
     if (ro_.fault_injector != nullptr) {
       clusters_[c].engine->cluster().set_fault_injector(ro_.fault_injector);
     }
+    if (ro_.tuning) clusters_[c].engine->set_plan_provider(ro_.tuning);
     clusters_[c].lanes.assign(static_cast<std::size_t>(mc_.cores_per_cluster),
                               0);
   }
@@ -464,6 +466,14 @@ core::GemmResult GemmRuntime::run_on_cluster(int cluster, Request& req,
     }
   } else {
     plan = cs.engine->plan(req.in.m, req.in.n, req.in.k, req.opt);
+  }
+  if (plan.tuned) {
+    rs.tuned_plan = true;
+    {
+      const std::lock_guard<std::mutex> lock(stats_mu_);
+      ++tuned_plans_;
+    }
+    FTM_TRACE_COUNTER("runtime.tuned_plans", 1);
   }
   return cs.engine->sgemm_planned(req.in, plan, req.opt);
 }
@@ -1056,6 +1066,7 @@ RuntimeStats GemmRuntime::stats() const {
   s.executed = executed_;
   s.plan_hits = plans_.hits();
   s.plan_misses = plans_.misses();
+  s.tuned_plans = tuned_plans_;
   s.steals = steals_;
   s.splits = splits_;
   s.faults = faults_;
@@ -1106,7 +1117,7 @@ Table GemmRuntime::report() const {
     for (const RequestStats& r : log_) waits.push_back(r.queue_wait_ms);
   }
   Table t({"cluster", "requests", "busy_cycles", "plan_hits", "plan_misses",
-           "steals", "splits", "faults", "retries", "fallbacks",
+           "tuned", "steals", "splits", "faults", "retries", "fallbacks",
            "quarantines", "probes", "health", "wait_p50_ms", "wait_p95_ms"});
   std::uint64_t total_q = 0, total_p = 0;
   for (std::size_t c = 0; c < s.cluster_requests.size(); ++c) {
@@ -1116,6 +1127,7 @@ Table GemmRuntime::report() const {
         .cell(static_cast<long long>(c))
         .cell(static_cast<std::size_t>(s.cluster_requests[c]))
         .cell(static_cast<std::size_t>(s.cluster_busy_cycles[c]))
+        .cell("")
         .cell("")
         .cell("")
         .cell("")
@@ -1135,6 +1147,7 @@ Table GemmRuntime::report() const {
       .cell(static_cast<std::size_t>(makespan_cycles()))
       .cell(static_cast<std::size_t>(s.plan_hits))
       .cell(static_cast<std::size_t>(s.plan_misses))
+      .cell(static_cast<std::size_t>(s.tuned_plans))
       .cell(static_cast<std::size_t>(s.steals))
       .cell(static_cast<std::size_t>(s.splits))
       .cell(static_cast<std::size_t>(s.faults))

@@ -1,0 +1,52 @@
+// Shape-class bucketing of the auto-tuner (docs/tuning.md). Tuned block
+// configurations are keyed not by the exact (M, N, K) but by a *class*:
+// the floor-log2 bucket of each dimension plus the active core count.
+// Shapes in one class differ by < 2x per dimension, so they share the
+// same M/N/K ratio regime (the paper's type I/II/III taxonomy falls out
+// of the bucket differences) and, empirically, the same winning blocks.
+// Entries additionally carry the MachineConfig hash, so a cache tuned for
+// one machine variant is never applied to another.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "ftm/isa/machine.hpp"
+
+namespace ftm::tune {
+
+/// FNV-1a over every field of the machine description, in declaration
+/// order. Any capacity/latency/bandwidth change yields a new hash and
+/// therefore invalidates previously tuned entries.
+std::uint64_t machine_hash(const isa::MachineConfig& mc);
+
+/// Floor of log2(v); bucket(1) == 0. Dimensions in [2^b, 2^(b+1)) share a
+/// bucket.
+int shape_bucket(std::size_t v);
+
+struct ShapeClass {
+  int mb = 0;  ///< bucket of M
+  int nb = 0;  ///< bucket of N
+  int kb = 0;  ///< bucket of K
+  int cores = 8;
+
+  static ShapeClass of(std::size_t m, std::size_t n, std::size_t k,
+                       int cores);
+
+  /// Stable cache key, e.g. "m18-n5-k5-c8".
+  std::string key() const;
+
+  friend bool operator<(const ShapeClass& a, const ShapeClass& b) {
+    if (a.mb != b.mb) return a.mb < b.mb;
+    if (a.nb != b.nb) return a.nb < b.nb;
+    if (a.kb != b.kb) return a.kb < b.kb;
+    return a.cores < b.cores;
+  }
+  friend bool operator==(const ShapeClass& a, const ShapeClass& b) {
+    return a.mb == b.mb && a.nb == b.nb && a.kb == b.kb &&
+           a.cores == b.cores;
+  }
+};
+
+}  // namespace ftm::tune

@@ -1,0 +1,81 @@
+#include "ftm/tune/shape_class.hpp"
+
+#include <cstring>
+
+#include "ftm/util/assert.hpp"
+
+namespace ftm::tune {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+void mix(std::uint64_t& h, const void* p, std::size_t n) {
+  const auto* b = static_cast<const unsigned char*>(p);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= b[i];
+    h *= kFnvPrime;
+  }
+}
+
+template <typename T>
+void mix_value(std::uint64_t& h, T v) {
+  mix(h, &v, sizeof(v));
+}
+
+}  // namespace
+
+std::uint64_t machine_hash(const isa::MachineConfig& mc) {
+  std::uint64_t h = kFnvOffset;
+  mix_value(h, mc.freq_ghz);
+  mix_value(h, mc.vpe_count);
+  mix_value(h, mc.fp32_lanes);
+  mix_value(h, mc.vector_fmac_units);
+  mix_value(h, mc.vector_regs);
+  mix_value(h, mc.scalar_regs);
+  mix_value(h, mc.scalar_slots);
+  mix_value(h, mc.vector_slots);
+  mix_value(h, mc.sm_bytes);
+  mix_value(h, mc.am_bytes);
+  mix_value(h, mc.gsm_bytes);
+  mix_value(h, mc.am_bytes_per_cycle);
+  mix_value(h, mc.broadcast_fp32_per_cycle);
+  mix_value(h, mc.ddr_bytes_per_sec);
+  mix_value(h, mc.gsm_bytes_per_cycle_per_core);
+  mix_value(h, mc.gsm_bytes_per_cycle_total);
+  mix_value(h, mc.dma_startup_cycles);
+  mix_value(h, mc.lat_vfmac);
+  mix_value(h, mc.lat_vldw);
+  mix_value(h, mc.lat_vstw);
+  mix_value(h, mc.lat_sldw);
+  mix_value(h, mc.lat_sfext);
+  mix_value(h, mc.lat_sbale);
+  mix_value(h, mc.lat_bcast);
+  mix_value(h, mc.lat_smovi);
+  mix_value(h, mc.lat_saddi);
+  mix_value(h, mc.lat_sbr);
+  mix_value(h, mc.cores_per_cluster);
+  return h;
+}
+
+int shape_bucket(std::size_t v) {
+  FTM_EXPECTS(v >= 1);
+  int b = 0;
+  while (v >>= 1) ++b;
+  return b;
+}
+
+ShapeClass ShapeClass::of(std::size_t m, std::size_t n, std::size_t k,
+                          int cores) {
+  FTM_EXPECTS(m >= 1 && n >= 1 && k >= 1 && cores >= 1);
+  return ShapeClass{shape_bucket(m), shape_bucket(n), shape_bucket(k),
+                    cores};
+}
+
+std::string ShapeClass::key() const {
+  return "m" + std::to_string(mb) + "-n" + std::to_string(nb) + "-k" +
+         std::to_string(kb) + "-c" + std::to_string(cores);
+}
+
+}  // namespace ftm::tune

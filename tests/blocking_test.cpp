@@ -92,6 +92,17 @@ TEST(Adjust, KStrategySpreadsKAcrossCores) {
   EXPECT_NO_THROW(check_k_blocks(b, mc()));
 }
 
+TEST(Adjust, KStrategyClampsReduceRowsToShrunkenMg) {
+  // Tiny M shrinks m_g far below the default reduce_rows = 64: the
+  // reduction chunk must be clamped so the chunk loop is not degenerate.
+  KBlocks b0 = initial_k_blocks(mc());
+  b0.reduce_rows = 256;
+  const KBlocks b = adjust_k_blocks(b0, 8, 32, 1 << 16, mc());
+  EXPECT_LE(b.reduce_rows, b.mg);
+  EXPECT_GE(b.reduce_rows, 1u);
+  EXPECT_NO_THROW(check_k_blocks(b, mc()));
+}
+
 TEST(Adjust, HandlesDegenerateShapes) {
   const MBlocks b0 = initial_m_blocks(mc());
   EXPECT_NO_THROW(adjust_m_blocks(b0, 1, 1, 1, mc()));

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Diff two bench_perf_gate JSON files and fail on cycle regressions.
+
+Usage: bench_compare.py BASELINE CURRENT [--tolerance PCT]
+
+The simulator is bit-reproducible, so any difference is a real code
+change, not noise; the default tolerance of 0.5% only absorbs intended
+small refactors. Rules:
+
+  * an entry present in BASELINE but missing from CURRENT fails (a
+    variant silently dropped out of the gate matrix);
+  * an entry whose cycles grew by more than the tolerance fails;
+  * entries with 0 cycles (strategy not applicable to the shape) are
+    compared for equality of applicability only;
+  * new entries in CURRENT are allowed (the matrix can grow).
+
+Baseline refresh procedure: docs/tuning.md.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != 1:
+        sys.exit(f"{path}: unsupported schema {doc.get('schema')!r}")
+    entries = {}
+    for e in doc["entries"]:
+        entries[(e["shape"], e["variant"])] = int(e["cycles"])
+    return entries
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--tolerance", type=float, default=0.5,
+                    help="max allowed cycle growth in percent (default 0.5)")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cur = load(args.current)
+
+    failures = []
+    improved = 0
+    for key, b in sorted(base.items()):
+        shape, variant = key
+        c = cur.get(key)
+        if c is None:
+            failures.append(f"{shape}/{variant}: missing from {args.current}")
+            continue
+        if b == 0 or c == 0:
+            if b != c:
+                failures.append(
+                    f"{shape}/{variant}: applicability changed "
+                    f"({b} -> {c} cycles)")
+            continue
+        delta = 100.0 * (c - b) / b
+        if delta > args.tolerance:
+            failures.append(
+                f"{shape}/{variant}: {b} -> {c} cycles (+{delta:.2f}%)")
+        elif delta < 0:
+            improved += 1
+
+    added = sorted(set(cur) - set(base))
+    for shape, variant in added:
+        print(f"note: new entry {shape}/{variant}")
+
+    if failures:
+        print(f"PERF GATE FAILED ({len(failures)} regressions, "
+              f"tolerance {args.tolerance}%):")
+        for f in failures:
+            print(f"  {f}")
+        sys.exit(1)
+    print(f"perf gate ok: {len(base)} entries compared, "
+          f"{improved} improved, {len(added)} added")
+
+
+if __name__ == "__main__":
+    main()
