@@ -1,0 +1,159 @@
+// Host-side throughput of the execution engine (docs/performance.md):
+// wall-clock GEMMs/s, GFLOPS and DDR GB/s of *functional* runs across the
+// paper's shape taxonomy, swept over SIMD dispatch tier x host thread
+// count. This measures the simulator's own speed, not the simulated
+// machine — simulated cycles are identical in every cell (the determinism
+// gate in tests/host_exec_test.cpp enforces that); only the host wall
+// clock moves. The speedup column is relative to (scalar tier, 1 thread),
+// the pre-engine configuration.
+//
+//   ./bench_host_throughput [--smoke] [--reps 2] [--csv host_throughput.csv]
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ftm/core/ftimm.hpp"
+#include "ftm/kernelgen/hostsimd.hpp"
+#include "ftm/util/cli.hpp"
+#include "ftm/util/reporter.hpp"
+#include "ftm/util/task_pool.hpp"
+#include "ftm/workload/generators.hpp"
+
+using namespace ftm;
+using core::FtimmOptions;
+using core::GemmInput;
+namespace hostsimd = kernelgen::hostsimd;
+
+namespace {
+
+struct Shape {
+  std::size_t m, n, k;
+  const char* cls;  ///< paper taxonomy label
+};
+
+std::string shape_name(const Shape& s) {
+  return std::to_string(s.m) + "x" + std::to_string(s.n) + "x" +
+         std::to_string(s.k);
+}
+
+/// Best-of-reps wall time of one functional GEMM, in milliseconds.
+double run_ms(core::FtimmEngine& eng, workload::GemmProblem& p,
+              const FtimmOptions& opt, int reps, core::GemmResult& out) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    out = eng.sgemm(GemmInput::bound(p.a.view(), p.b.view(), p.c.view()),
+                    opt);
+    best = std::min(
+        best, std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count());
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const bool smoke = cli.get_bool("smoke", false);
+  const int reps = static_cast<int>(cli.get_int("reps", smoke ? 1 : 2));
+  const std::string csv = cli.get("csv", "host_throughput.csv");
+
+  // Moderate representatives of the paper's irregular-shape taxonomy;
+  // smoke mode shrinks them so CI spends seconds, not minutes.
+  std::vector<Shape> shapes;
+  if (smoke) {
+    shapes = {{256, 96, 256, "square"},
+              {4096, 32, 32, "tall"},
+              {32, 32, 4096, "deep"}};
+  } else {
+    shapes = {{1024, 96, 1024, "square"},
+              {65536, 32, 32, "tall"},
+              {32, 32, 65536, "deep"},
+              {2048, 64, 2048, "large"}};
+  }
+
+  struct Config {
+    hostsimd::Tier tier;
+    unsigned threads;
+  };
+  std::vector<hostsimd::Tier> tiers = {hostsimd::Tier::Scalar};
+  if (hostsimd::best_tier() != hostsimd::Tier::Scalar) {
+    tiers.push_back(hostsimd::best_tier());
+  }
+  std::vector<Config> configs;
+  for (const hostsimd::Tier tier : tiers) {
+    for (const unsigned threads : {1u, 2u, 8u}) {
+      configs.push_back({tier, threads});
+    }
+  }
+
+  core::FtimmEngine eng;
+  TaskPool pool2(2), pool8(8);
+  auto pool_for = [&](unsigned threads) -> TaskPool* {
+    if (threads == 2) return &pool2;
+    if (threads == 8) return &pool8;
+    return nullptr;  // 1 = inline, the pre-engine behavior
+  };
+
+  Table t({"shape", "class", "tier", "threads", "wall ms", "gemms/s",
+           "gflops", "ddr GB/s", "speedup"});
+  double headline = 0.0;  // best speedup of the (best tier, 8 threads) cell
+
+  const hostsimd::Tier prev = hostsimd::active_tier();
+  for (const Shape& s : shapes) {
+    workload::GemmProblem p =
+        workload::make_problem(s.m, s.n, s.k, /*seed=*/11);
+    FtimmOptions opt;
+    opt.cores = 8;
+
+    // Warm-up: kernel generation/calibration, plan choice, page faults.
+    core::GemmResult r;
+    (void)run_ms(eng, p, opt, 1, r);
+
+    double base_ms = 0.0;
+    for (const Config& cfg : configs) {
+      hostsimd::set_active_tier(cfg.tier);
+      opt.host_pool = pool_for(cfg.threads);
+      const double ms = run_ms(eng, p, opt, reps, r);
+      if (cfg.tier == hostsimd::Tier::Scalar && cfg.threads == 1) {
+        base_ms = ms;
+      }
+      const double flops = 2.0 * s.m * s.n * s.k;
+      const double speedup = ms > 0 ? base_ms / ms : 0.0;
+      if (cfg.tier == hostsimd::best_tier() && cfg.threads == 8) {
+        headline = std::max(headline, speedup);
+      }
+      t.begin_row()
+          .cell(shape_name(s))
+          .cell(s.cls)
+          .cell(hostsimd::to_string(cfg.tier))
+          .cell(static_cast<long long>(cfg.threads))
+          .cell(ms, 3)
+          .cell(ms > 0 ? 1000.0 / ms : 0.0, 1)
+          .cell(ms > 0 ? flops / (ms * 1e6) : 0.0, 2)
+          .cell(ms > 0 ? static_cast<double>(r.ddr_bytes) / (ms * 1e6)
+                       : 0.0,
+                2)
+          .cell(speedup, 2);
+    }
+  }
+  hostsimd::set_active_tier(prev);
+
+  t.print("Host execution engine throughput (functional runs)");
+  if (!csv.empty()) {
+    t.write_csv(csv);
+    std::printf("\nwrote %s\n", csv.c_str());
+  }
+  std::printf("host parallelism: %u hw threads; best tier: %s\n",
+              std::thread::hardware_concurrency(),
+              hostsimd::to_string(hostsimd::best_tier()));
+  std::printf("headline speedup (best tier, 8 threads vs scalar, 1): "
+              "%.2fx\n",
+              headline);
+  return 0;
+}

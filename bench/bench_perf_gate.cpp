@@ -50,15 +50,21 @@ const std::vector<Shape> kShapes = {
 
 /// 0 = the forced strategy's blocks cannot fit this shape (capacity
 /// audit rejected it); recorded as-is so the JSON matrix stays fixed.
+/// `wall_us` receives the host wall-clock of the call — informational
+/// only (machine-dependent), never part of the cycle gate.
 std::uint64_t run_forced(core::FtimmEngine& eng, const Shape& s,
-                         Strategy force) {
+                         Strategy force, double& wall_us) {
   FtimmOptions opt;
   opt.cores = 8;
   opt.functional = false;
   opt.force = force;
   try {
-    return eng.sgemm(GemmInput::shape_only(s.m, s.n, s.k), opt).cycles;
+    const core::GemmResult r =
+        eng.sgemm(GemmInput::shape_only(s.m, s.n, s.k), opt);
+    wall_us = r.host_wall_us;
+    return r.cycles;
   } catch (const ContractViolation&) {
+    wall_us = 0;
     return 0;
   }
 }
@@ -87,19 +93,22 @@ int main(int argc, char** argv) {
   struct Row {
     Shape s;
     std::uint64_t tgemm, pm, pk, def, tuned;
+    double wall[5];  ///< host wall-µs per variant, informational only
   };
   std::vector<Row> rows;
   for (const Shape& s : kShapes) {
-    Row r{s, 0, 0, 0, 0, 0};
-    r.tgemm = run_forced(eng, s, Strategy::TGemm);
-    r.pm = run_forced(eng, s, Strategy::ParallelM);
-    r.pk = run_forced(eng, s, Strategy::ParallelK);
-    r.def = run_forced(eng, s, Strategy::Auto);
+    Row r{s, 0, 0, 0, 0, 0, {}};
+    r.tgemm = run_forced(eng, s, Strategy::TGemm, r.wall[0]);
+    r.pm = run_forced(eng, s, Strategy::ParallelM, r.wall[1]);
+    r.pk = run_forced(eng, s, Strategy::ParallelK, r.wall[2]);
+    r.def = run_forced(eng, s, Strategy::Auto, r.wall[3]);
     FtimmOptions opt;
     opt.cores = 8;
     opt.functional = false;
-    r.tuned =
-        tuned_eng.sgemm(GemmInput::shape_only(s.m, s.n, s.k), opt).cycles;
+    const core::GemmResult tr =
+        tuned_eng.sgemm(GemmInput::shape_only(s.m, s.n, s.k), opt);
+    r.tuned = tr.cycles;
+    r.wall[4] = tr.host_wall_us;
     rows.push_back(r);
   }
 
@@ -130,20 +139,22 @@ int main(int argc, char** argv) {
   }
   f << "{\n  \"schema\": 1,\n  \"entries\": [\n";
   bool first = true;
+  // wall_us is informational (host-dependent): bench_compare.py prints
+  // its drift but only cycles can fail the gate.
   const auto emit = [&](const Shape& s, const char* variant,
-                        std::uint64_t cycles) {
+                        std::uint64_t cycles, double wall_us) {
     if (!first) f << ",\n";
     first = false;
     f << "    {\"shape\": \"" << s.m << "x" << s.n << "x" << s.k
       << "\", \"variant\": \"" << variant << "\", \"cycles\": " << cycles
-      << "}";
+      << ", \"wall_us\": " << static_cast<std::uint64_t>(wall_us) << "}";
   };
   for (const Row& r : rows) {
-    emit(r.s, "tgemm", r.tgemm);
-    emit(r.s, "parallel_m", r.pm);
-    emit(r.s, "parallel_k", r.pk);
-    emit(r.s, "default", r.def);
-    emit(r.s, "tuned", r.tuned);
+    emit(r.s, "tgemm", r.tgemm, r.wall[0]);
+    emit(r.s, "parallel_m", r.pm, r.wall[1]);
+    emit(r.s, "parallel_k", r.pk, r.wall[2]);
+    emit(r.s, "default", r.def, r.wall[3]);
+    emit(r.s, "tuned", r.tuned, r.wall[4]);
   }
   f << "\n  ]\n}\n";
   f.close();

@@ -6,6 +6,10 @@
 
 #include "ftm/util/matrix.hpp"
 
+namespace ftm {
+class TaskPool;  // util/task_pool.hpp
+}
+
 namespace ftm::core {
 
 /// Which multi-core algorithm executes a GEMM.
@@ -67,6 +71,14 @@ struct FtimmOptions {
   /// occupies a whole cluster (and may be sharded across clusters) instead
   /// of sharing it with other problems of the batch. Must be > 0.
   double wide_problem_flops = 256.0 * 1024 * 1024;
+  /// Host execution engine (docs/performance.md): when set, functional
+  /// work (micro-kernel math, DMA byte copies) of different simulated
+  /// cores runs on this pool's threads between barrier points. Purely a
+  /// host-speed knob: simulated cycles and the C output are bit-identical
+  /// for any pool size, nullptr included (then everything runs inline on
+  /// the calling thread, exactly the pre-engine behavior). Non-owning;
+  /// must outlive the call. The runtime injects its own pool here.
+  TaskPool* host_pool = nullptr;
 };
 
 /// What a simulated GEMM cost.
@@ -79,6 +91,10 @@ struct GemmResult {
   int cores = 0;
   std::uint64_t ddr_bytes = 0;     ///< DDR traffic (both directions)
   std::uint64_t kernel_calls = 0;  ///< micro-kernel invocations
+  /// Host wall-clock of this call in microseconds (timing + functional
+  /// work). Unlike every field above it is *not* deterministic — it is
+  /// the observability hook for the host execution engine's speedup.
+  double host_wall_us = 0;
   /// True when the runtime's resilience layer gave up on the DSP clusters
   /// and computed C on the host CPU: C is correct (to gemm_tolerance(k),
   /// the accumulation order differs) but the cycle fields are zero — the

@@ -111,7 +111,9 @@ GemmResult dgemm(FtimmEngine& engine, const DGemmInput& in,
     req.row_bytes = N * kElem;
     req.src_stride = in.ldb * kElem;
     req.dst_stride = db.ng * kElem;
-    return ctx.dma(
+    // Shared destination: every core reads this GSM panel, so the copy is
+    // serialized against all deferred per-core work (dma_shared).
+    return ctx.dma_shared(
         0, req,
         fn ? reinterpret_cast<const std::uint8_t*>(in.b + p.j0 * in.ldb)
            : nullptr,
@@ -210,21 +212,18 @@ GemmResult dgemm(FtimmEngine& engine, const DGemmInput& in,
             spec.na = static_cast<int>(N);
             spec.dtype = kernelgen::DType::F64;
             const auto& uk = ctx.cache.get(spec);
-            ++ctx.kernel_calls;
-            std::uint64_t cycles;
-            if (fn) {
-              cycles = uk.run_fast_f64(
-                  reinterpret_cast<const double*>(cl.core(core).sm().raw(
-                      pc[core].as[s % 2].offset, mrows * ka_t * kElem)),
-                  reinterpret_cast<const double*>(cl.core(core).am().raw(
-                      pc[core].ba[jb % 2].offset, ka_t * pitch * kElem)),
-                  reinterpret_cast<double*>(cl.core(core).am().raw(
-                      pc[core].ca.offset + tt * pitch * kElem,
-                      mrows * pitch * kElem)));
-            } else {
-              cycles = uk.cost_only();
-            }
-            tl.compute(cycles);
+            ctx.kernel_f64(
+                core, uk,
+                fn ? reinterpret_cast<const double*>(cl.core(core).sm().raw(
+                         pc[core].as[s % 2].offset, mrows * ka_t * kElem))
+                   : nullptr,
+                fn ? reinterpret_cast<const double*>(cl.core(core).am().raw(
+                         pc[core].ba[jb % 2].offset, ka_t * pitch * kElem))
+                   : nullptr,
+                fn ? reinterpret_cast<double*>(cl.core(core).am().raw(
+                         pc[core].ca.offset + tt * pitch * kElem,
+                         mrows * pitch * kElem))
+                   : nullptr);
           }
         }
 
@@ -248,6 +247,7 @@ GemmResult dgemm(FtimmEngine& engine, const DGemmInput& in,
   }
 
   GemmResult r;
+  ctx.sync();  // C must be fully written before the caller reads it
   cl.barrier();
   r.cycles = cl.max_time();
   r.seconds = cl.cycles_to_seconds(r.cycles);
@@ -260,6 +260,9 @@ GemmResult dgemm(FtimmEngine& engine, const DGemmInput& in,
   r.cores = opt.cores;
   r.ddr_bytes = ctx.ddr_bytes;
   r.kernel_calls = ctx.kernel_calls;
+  r.host_wall_us = std::chrono::duration<double, std::micro>(
+                       std::chrono::steady_clock::now() - ctx.wall_start_)
+                       .count();
   return r;
 }
 

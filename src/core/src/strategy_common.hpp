@@ -2,32 +2,44 @@
 #pragma once
 
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
 
+#include "ftm/core/exec.hpp"
 #include "ftm/core/types.hpp"
+#include "ftm/kernelgen/hostsimd.hpp"
 #include "ftm/kernelgen/microkernel.hpp"
 #include "ftm/sim/cluster.hpp"
 #include "ftm/trace/trace.hpp"
 
 namespace ftm::core::detail {
 
-/// Per-run bookkeeping: DDR traffic, kernel-call count, and the ping-pong
+/// Per-run bookkeeping: DDR traffic, kernel-call count, the ping-pong
 /// ablation (when disabled every DMA is awaited immediately, removing all
-/// compute/transfer overlap).
+/// compute/transfer overlap), and the host execution engine that defers
+/// functional work onto opt.host_pool (inline when no pool is attached).
 struct RunCtx {
   sim::Cluster& cl;
   kernelgen::KernelCache& cache;
   const FtimmOptions& opt;
   bool fn;  ///< functional (data-moving) mode
+  HostExecEngine exec;
   std::uint64_t ddr_bytes = 0;
   std::uint64_t kernel_calls = 0;
+  std::chrono::steady_clock::time_point wall_start_;
 
   /// Cached active session (nullptr = tracing off). Looked up once per
   /// GEMM; an active session outlives the call by contract.
   trace::TraceSession* trace_ = nullptr;
 
   RunCtx(sim::Cluster& c, kernelgen::KernelCache& k, const FtimmOptions& o)
-      : cl(c), cache(k), opt(o), fn(o.functional) {
+      : cl(c),
+        cache(k),
+        opt(o),
+        fn(o.functional),
+        exec(o.functional ? o.host_pool : nullptr,
+             c.machine().cores_per_cluster),
+        wall_start_(std::chrono::steady_clock::now()) {
     cl.reset();
     cl.set_functional(o.functional);
     cl.set_active_cores(o.cores);
@@ -57,10 +69,41 @@ struct RunCtx {
         req.route == sim::DmaRoute::SpmToDdr) {
       ddr_bytes += req.total_bytes();
     }
-    const sim::DmaHandle h = cl.dma(core, req, src, dst);
+    // Timing is charged eagerly (and fault injection throws) before the
+    // byte copy is even enqueued; the copy itself may run later on a host
+    // pool thread, in order within this core's op queue.
+    const sim::DmaHandle h = cl.dma_issue(core, req);
+    if (fn) {
+      FTM_EXPECTS(src != nullptr && dst != nullptr);
+      exec.copy(core, req, src, dst);
+    }
     if (!opt.pingpong) cl.timeline(core).dma_wait(h);
     return h;
   }
+
+  /// A DMA whose destination is read by *other* cores (the GSM panel
+  /// loads): the copy runs inline after all outstanding per-core work is
+  /// flushed, so no queued reader of the previous panel can observe the
+  /// overwrite and no new reader can start before the bytes are there.
+  sim::DmaHandle dma_shared(int core, const sim::DmaRequest& req,
+                            const std::uint8_t* src, std::uint8_t* dst) {
+    if (req.route == sim::DmaRoute::DdrToSpm ||
+        req.route == sim::DmaRoute::SpmToDdr) {
+      ddr_bytes += req.total_bytes();
+    }
+    const sim::DmaHandle h = cl.dma_issue(core, req);
+    if (fn) {
+      FTM_EXPECTS(src != nullptr && dst != nullptr);
+      exec.serial_copy(req, src, dst);
+    }
+    if (!opt.pingpong) cl.timeline(core).dma_wait(h);
+    return h;
+  }
+
+  /// Functional-side barrier: completes all deferred per-core work. Call
+  /// wherever the algorithm synchronizes cores before they exchange data
+  /// (the K-strategy staging/reduction rounds). No timing effect.
+  void sync() { exec.flush(); }
 
   /// Synchronization point of the ping-pong scheme: blocks `core` until
   /// transfer `h` completes, recording the stall (if any) as a traced
@@ -88,17 +131,15 @@ struct RunCtx {
     tl.dma_wait(h);
   }
 
-  /// Charge a micro-kernel execution on `core`'s timeline; runs the math
-  /// in functional mode.
+  /// Charge a micro-kernel execution on `core`'s timeline; defers the
+  /// math onto `core`'s op queue in functional mode. The charged cycles
+  /// are the calibrated cost either way (run_fast returns cost_only()),
+  /// so deferring the math cannot move a single simulated cycle.
   void kernel(int core, const kernelgen::MicroKernel& uk, const float* a,
               const float* b, float* c) {
     ++kernel_calls;
-    std::uint64_t cycles;
-    if (fn) {
-      cycles = uk.run_fast(a, b, c);
-    } else {
-      cycles = uk.cost_only();
-    }
+    const std::uint64_t cycles = uk.cost_only();
+    if (fn) exec.kernel_f32(core, uk, a, b, c);
 #if FTM_TRACE_ENABLED
     if (trace_ != nullptr) {
       const sim::ExecResult& calib = uk.calibration();
@@ -120,6 +161,15 @@ struct RunCtx {
     }
 #endif
     cl.timeline(core).compute(cycles);
+  }
+
+  /// FP64 variant (dgemm); charges timing identically, no trace span —
+  /// matching the pre-engine dgemm behavior.
+  void kernel_f64(int core, const kernelgen::MicroKernel& uk,
+                  const double* a, const double* b, double* c) {
+    ++kernel_calls;
+    if (fn) exec.kernel_f64(core, uk, a, b, c);
+    cl.timeline(core).compute(uk.cost_only());
   }
 
   /// Phase spans (ping-pong C-tile rounds, the K-strategy reduction...):
@@ -155,6 +205,7 @@ struct RunCtx {
   }
 
   GemmResult finish(const GemmInput& in, Strategy s) {
+    exec.flush();  // C must be fully written before the caller reads it
     cl.barrier();
     GemmResult r;
     r.cycles = cl.max_time();
@@ -167,6 +218,10 @@ struct RunCtx {
     r.cores = opt.cores;
     r.ddr_bytes = ddr_bytes;
     r.kernel_calls = kernel_calls;
+    r.host_wall_us =
+        std::chrono::duration<double, std::micro>(
+            std::chrono::steady_clock::now() - wall_start_)
+            .count();
 #if FTM_TRACE_ENABLED
     if (trace_ != nullptr) {
       trace::Event e;
@@ -182,6 +237,13 @@ struct RunCtx {
       trace_->record(e);
       trace_->count("gemm.calls");
       trace_->count("gemm.cycles", r.cycles);
+      // Host-engine gauges, summed per GEMM (the registry is cumulative):
+      // tier id of the SIMD dispatch and host threads a flush may use.
+      trace_->count("host.simd_tier",
+                    static_cast<std::uint64_t>(
+                        kernelgen::hostsimd::active_tier()));
+      trace_->count("host.pool_threads",
+                    static_cast<std::uint64_t>(exec.parallelism()));
     }
 #endif
     return r;

@@ -79,9 +79,10 @@ GemmResult run_strategy_k(sim::Cluster& cl, kernelgen::KernelCache& cache,
       cgr.src_stride = in.c.ld() * sizeof(float);
       cgr.dst_stride = ng_t * sizeof(float);
       const auto cgh =
-          ctx.dma(0, cgr, detail::host_src(in.c, i0, j0, fn),
-                  fn ? cl.gsm().raw(cg.offset, mg_t * ng_t * sizeof(float))
-                     : nullptr);
+          ctx.dma_shared(0, cgr, detail::host_src(in.c, i0, j0, fn),
+                         fn ? cl.gsm().raw(cg.offset,
+                                           mg_t * ng_t * sizeof(float))
+                            : nullptr);
       const std::uint64_t cg_ready = cl.timeline(0).done_time(cgh);
 
       for (std::size_t ii = 0; ii < mg_t; ii += kb.ma) {
@@ -96,10 +97,11 @@ GemmResult run_strategy_k(sim::Cluster& cl, kernelgen::KernelCache& cache,
             auto& tl = cl.timeline(core);
             // Zero the AM partial (VMOVI throughput: 3 vectors/cycle).
             if (fn) {
-              std::memset(cl.core(core).am().raw(
-                              pc[core].ca.offset,
-                              ma_t * pitch * sizeof(float)),
-                          0, ma_t * pitch * sizeof(float));
+              ctx.exec.zero(core,
+                            cl.core(core).am().raw(
+                                pc[core].ca.offset,
+                                ma_t * pitch * sizeof(float)),
+                            ma_t * pitch * sizeof(float));
             }
             tl.compute(tile_vecs / 3 + 1);
 
@@ -198,6 +200,7 @@ GemmResult run_strategy_k(sim::Cluster& cl, kernelgen::KernelCache& cache,
           }
 
           cl.barrier();
+          ctx.sync();  // staged partials must land before anyone reads them
 
           // --- Optional pairwise tree combine (extension/ablation): after
           // log2(W) parallel rounds stage[0] holds the sum of all partials.
@@ -239,12 +242,10 @@ GemmResult run_strategy_k(sim::Cluster& cl, kernelgen::KernelCache& cache,
                   ctx.wait(i, ha);
                   ctx.wait(i, hb);
                   if (fn) {
-                    float* own =
-                        cl.core(i).am().f32(racc_r[i].offset, rows * pitch);
-                    const float* other =
-                        cl.core(i).am().f32(rpart_r[i].offset, rows * pitch);
-                    for (std::size_t x = 0; x < rows * pitch; ++x)
-                      own[x] += other[x];
+                    ctx.exec.add_f32(
+                        i, cl.core(i).am().f32(racc_r[i].offset, rows * pitch),
+                        cl.core(i).am().f32(rpart_r[i].offset, rows * pitch),
+                        rows * pitch);
                   }
                   tli.compute(rows * pitch / 32 + 1);
                   sim::DmaRequest wreq = req;
@@ -264,6 +265,7 @@ GemmResult run_strategy_k(sim::Cluster& cl, kernelgen::KernelCache& cache,
                 ctx.phase_end(i, "tree-combine", tph0);
               }
               cl.barrier();
+              ctx.sync();  // round r+1 reads stage slots round r wrote
             }
           }
           const int merge_parts = tree ? 1 : W;
@@ -315,10 +317,9 @@ GemmResult run_strategy_k(sim::Cluster& cl, kernelgen::KernelCache& cache,
               FTM_TRACE_COUNTER("reduce.gsm_bytes", preq.total_bytes());
               ctx.wait(0, ph);
               if (fn) {
-                const float* part =
-                    cl.core(0).am().f32(rpart.offset, rows * pitch);
-                for (std::size_t x = 0; x < rows * pitch; ++x)
-                  accbuf[x] += part[x];
+                ctx.exec.add_f32(
+                    0, accbuf, cl.core(0).am().f32(rpart.offset, rows * pitch),
+                    rows * pitch);
               }
               tl0.compute(rows * pitch / 32 + 1);  // ~1 cycle per vector
             }
@@ -339,6 +340,7 @@ GemmResult run_strategy_k(sim::Cluster& cl, kernelgen::KernelCache& cache,
           }
           ctx.phase_end(0, "reduce", rph0);
           cl.barrier();  // partials buffer may be reused now
+          ctx.sync();    // ... by the next tile's staging writes
         }
       }
     }

@@ -62,10 +62,12 @@ GemmResult run_strategy_m(sim::Cluster& cl, kernelgen::KernelCache& cache,
     req.row_bytes = p.ng_t * sizeof(float);
     req.src_stride = in.b.ld() * sizeof(float);
     req.dst_stride = p.ng_t * sizeof(float);
-    return ctx.dma(0, req, detail::host_src(in.b, p.j0, p.i0, fn),
-                   fn ? cl.gsm().raw(bg[idx % 2].offset,
-                                     p.kg_t * p.ng_t * sizeof(float))
-                      : nullptr);
+    // Shared destination: every core reads this GSM panel, so the copy is
+    // serialized against all deferred per-core work (dma_shared).
+    return ctx.dma_shared(0, req, detail::host_src(in.b, p.j0, p.i0, fn),
+                          fn ? cl.gsm().raw(bg[idx % 2].offset,
+                                            p.kg_t * p.ng_t * sizeof(float))
+                             : nullptr);
   };
 
   const std::size_t ntb = (M + mb.ma - 1) / mb.ma;  // parallel t blocks

@@ -67,10 +67,12 @@ GemmResult run_tgemm(sim::Cluster& cl, kernelgen::KernelCache& cache,
     req.row_bytes = p.kg_t * sizeof(float);
     req.src_stride = in.a.ld() * sizeof(float);
     req.dst_stride = p.kg_t * sizeof(float);
-    return ctx.dma(0, req, detail::host_src(in.a, p.i0, p.j0, fn),
-                   fn ? cl.gsm().raw(ag[idx % 2].offset,
-                                     p.mg_t * p.kg_t * sizeof(float))
-                      : nullptr);
+    // Shared destination: every core reads this GSM panel, so the copy is
+    // serialized against all deferred per-core work (dma_shared).
+    return ctx.dma_shared(0, req, detail::host_src(in.a, p.i0, p.j0, fn),
+                          fn ? cl.gsm().raw(ag[idx % 2].offset,
+                                            p.mg_t * p.kg_t * sizeof(float))
+                             : nullptr);
   };
 
   const std::size_t nt = (N + tb.na - 1) / tb.na;

@@ -1,0 +1,49 @@
+// Host SIMD fast paths for the functional micro-kernel and the strategy
+// reduction loops (docs/performance.md).
+//
+// Every primitive here is elementwise: element x of the output depends
+// only on element x of the inputs, through exactly one IEEE-754 operation
+// (a fused multiply-add or an addition). A vectorized implementation
+// therefore produces bit-identical results to the scalar loop — AVX2
+// vfmadd/NEON vfma are single-rounding fused ops exactly like std::fmaf —
+// so the dispatch tier can change freely without changing a single output
+// bit. Tests (host_exec_test) enforce this on every supported tier.
+//
+// Dispatch is decided at runtime from CPUID (x86) or baked in (NEON is
+// baseline on AArch64); the AVX2 bodies are compiled with per-function
+// target attributes so the rest of the build needs no -march flags, and a
+// -march=x86-64-v3 CI leg runs them on the CI hosts.
+#pragma once
+
+#include <cstddef>
+
+namespace ftm::kernelgen::hostsimd {
+
+enum class Tier {
+  Scalar = 0,  ///< portable std::fmaf/std::fma loops
+  Avx2 = 1,    ///< AVX2 + FMA3, runtime-detected on x86-64
+  Neon = 2,    ///< baseline on AArch64
+};
+
+const char* to_string(Tier t);
+
+/// Best tier this host supports (detected once, then cached).
+Tier best_tier();
+
+/// Tier the primitives currently dispatch to; defaults to best_tier().
+Tier active_tier();
+
+/// Forces a tier (tests/benchmarks); unsupported tiers clamp to Scalar.
+/// Returns the tier actually installed.
+Tier set_active_tier(Tier t);
+
+/// acc[x] = fma(a, x_[x], acc[x]) for x in [0, n) — the micro-kernel's
+/// bank-accumulate step (one A element against one padded B/C row).
+void fmadd_f32(float* acc, float a, const float* x_, std::size_t n);
+void fmadd_f64(double* acc, double a, const double* x_, std::size_t n);
+
+/// acc[x] += x_[x] for x in [0, n) — bank reduction / GSM partial merge.
+void add_f32(float* acc, const float* x_, std::size_t n);
+void add_f64(double* acc, const double* x_, std::size_t n);
+
+}  // namespace ftm::kernelgen::hostsimd

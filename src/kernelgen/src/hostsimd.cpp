@@ -1,0 +1,224 @@
+#include "ftm/kernelgen/hostsimd.hpp"
+
+#include <atomic>
+#include <cmath>
+
+#if defined(__x86_64__)
+#include <immintrin.h>
+#define FTM_HOSTSIMD_X86 1
+#define FTM_AVX2_FN __attribute__((target("avx2,fma")))
+#elif defined(__aarch64__)
+#include <arm_neon.h>
+#define FTM_HOSTSIMD_NEON 1
+#endif
+
+namespace ftm::kernelgen::hostsimd {
+
+namespace {
+
+// ---- Scalar reference bodies (the only tier every host has) -------------
+
+void fmadd_f32_scalar(float* acc, float a, const float* x_, std::size_t n) {
+  for (std::size_t x = 0; x < n; ++x) acc[x] = std::fmaf(a, x_[x], acc[x]);
+}
+
+void fmadd_f64_scalar(double* acc, double a, const double* x_,
+                      std::size_t n) {
+  for (std::size_t x = 0; x < n; ++x) acc[x] = std::fma(a, x_[x], acc[x]);
+}
+
+void add_f32_scalar(float* acc, const float* x_, std::size_t n) {
+  for (std::size_t x = 0; x < n; ++x) acc[x] += x_[x];
+}
+
+void add_f64_scalar(double* acc, const double* x_, std::size_t n) {
+  for (std::size_t x = 0; x < n; ++x) acc[x] += x_[x];
+}
+
+#if defined(FTM_HOSTSIMD_X86)
+
+// ---- AVX2 + FMA3 bodies (per-function target attributes) ----------------
+// The callers feed rows padded to vn*32 floats / vn*16 doubles, so n is a
+// multiple of the vector width on the hot path; the scalar tails below
+// only fire for odd n from the generic add_* entry points.
+
+FTM_AVX2_FN void fmadd_f32_avx2(float* acc, float a, const float* x_,
+                                std::size_t n) {
+  const __m256 va = _mm256_set1_ps(a);
+  std::size_t x = 0;
+  for (; x + 8 <= n; x += 8) {
+    const __m256 vx = _mm256_loadu_ps(x_ + x);
+    const __m256 vc = _mm256_loadu_ps(acc + x);
+    _mm256_storeu_ps(acc + x, _mm256_fmadd_ps(va, vx, vc));
+  }
+  for (; x < n; ++x) acc[x] = std::fmaf(a, x_[x], acc[x]);
+}
+
+FTM_AVX2_FN void fmadd_f64_avx2(double* acc, double a, const double* x_,
+                                std::size_t n) {
+  const __m256d va = _mm256_set1_pd(a);
+  std::size_t x = 0;
+  for (; x + 4 <= n; x += 4) {
+    const __m256d vx = _mm256_loadu_pd(x_ + x);
+    const __m256d vc = _mm256_loadu_pd(acc + x);
+    _mm256_storeu_pd(acc + x, _mm256_fmadd_pd(va, vx, vc));
+  }
+  for (; x < n; ++x) acc[x] = std::fma(a, x_[x], acc[x]);
+}
+
+FTM_AVX2_FN void add_f32_avx2(float* acc, const float* x_, std::size_t n) {
+  std::size_t x = 0;
+  for (; x + 8 <= n; x += 8) {
+    _mm256_storeu_ps(acc + x, _mm256_add_ps(_mm256_loadu_ps(acc + x),
+                                            _mm256_loadu_ps(x_ + x)));
+  }
+  for (; x < n; ++x) acc[x] += x_[x];
+}
+
+FTM_AVX2_FN void add_f64_avx2(double* acc, const double* x_, std::size_t n) {
+  std::size_t x = 0;
+  for (; x + 4 <= n; x += 4) {
+    _mm256_storeu_pd(acc + x, _mm256_add_pd(_mm256_loadu_pd(acc + x),
+                                            _mm256_loadu_pd(x_ + x)));
+  }
+  for (; x < n; ++x) acc[x] += x_[x];
+}
+
+#elif defined(FTM_HOSTSIMD_NEON)
+
+// ---- NEON bodies (baseline ISA on AArch64, no dispatch needed) ----------
+
+void fmadd_f32_neon(float* acc, float a, const float* x_, std::size_t n) {
+  const float32x4_t va = vdupq_n_f32(a);
+  std::size_t x = 0;
+  for (; x + 4 <= n; x += 4) {
+    vst1q_f32(acc + x, vfmaq_f32(vld1q_f32(acc + x), va, vld1q_f32(x_ + x)));
+  }
+  for (; x < n; ++x) acc[x] = std::fmaf(a, x_[x], acc[x]);
+}
+
+void fmadd_f64_neon(double* acc, double a, const double* x_, std::size_t n) {
+  const float64x2_t va = vdupq_n_f64(a);
+  std::size_t x = 0;
+  for (; x + 2 <= n; x += 2) {
+    vst1q_f64(acc + x, vfmaq_f64(vld1q_f64(acc + x), va, vld1q_f64(x_ + x)));
+  }
+  for (; x < n; ++x) acc[x] = std::fma(a, x_[x], acc[x]);
+}
+
+void add_f32_neon(float* acc, const float* x_, std::size_t n) {
+  std::size_t x = 0;
+  for (; x + 4 <= n; x += 4) {
+    vst1q_f32(acc + x, vaddq_f32(vld1q_f32(acc + x), vld1q_f32(x_ + x)));
+  }
+  for (; x < n; ++x) acc[x] += x_[x];
+}
+
+void add_f64_neon(double* acc, const double* x_, std::size_t n) {
+  std::size_t x = 0;
+  for (; x + 2 <= n; x += 2) {
+    vst1q_f64(acc + x, vaddq_f64(vld1q_f64(acc + x), vld1q_f64(x_ + x)));
+  }
+  for (; x < n; ++x) acc[x] += x_[x];
+}
+
+#endif
+
+bool supported(Tier t) {
+  switch (t) {
+    case Tier::Scalar:
+      return true;
+    case Tier::Avx2:
+#if defined(FTM_HOSTSIMD_X86)
+      return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+      return false;
+#endif
+    case Tier::Neon:
+#if defined(FTM_HOSTSIMD_NEON)
+      return true;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+std::atomic<Tier>& active_slot() {
+  static std::atomic<Tier> tier{best_tier()};
+  return tier;
+}
+
+}  // namespace
+
+const char* to_string(Tier t) {
+  switch (t) {
+    case Tier::Scalar: return "scalar";
+    case Tier::Avx2: return "avx2";
+    case Tier::Neon: return "neon";
+  }
+  return "?";
+}
+
+Tier best_tier() {
+  static const Tier best = [] {
+    if (supported(Tier::Avx2)) return Tier::Avx2;
+    if (supported(Tier::Neon)) return Tier::Neon;
+    return Tier::Scalar;
+  }();
+  return best;
+}
+
+Tier active_tier() { return active_slot().load(std::memory_order_relaxed); }
+
+Tier set_active_tier(Tier t) {
+  if (!supported(t)) t = Tier::Scalar;
+  active_slot().store(t, std::memory_order_relaxed);
+  return t;
+}
+
+void fmadd_f32(float* acc, float a, const float* x_, std::size_t n) {
+  switch (active_tier()) {
+#if defined(FTM_HOSTSIMD_X86)
+    case Tier::Avx2: fmadd_f32_avx2(acc, a, x_, n); return;
+#elif defined(FTM_HOSTSIMD_NEON)
+    case Tier::Neon: fmadd_f32_neon(acc, a, x_, n); return;
+#endif
+    default: fmadd_f32_scalar(acc, a, x_, n); return;
+  }
+}
+
+void fmadd_f64(double* acc, double a, const double* x_, std::size_t n) {
+  switch (active_tier()) {
+#if defined(FTM_HOSTSIMD_X86)
+    case Tier::Avx2: fmadd_f64_avx2(acc, a, x_, n); return;
+#elif defined(FTM_HOSTSIMD_NEON)
+    case Tier::Neon: fmadd_f64_neon(acc, a, x_, n); return;
+#endif
+    default: fmadd_f64_scalar(acc, a, x_, n); return;
+  }
+}
+
+void add_f32(float* acc, const float* x_, std::size_t n) {
+  switch (active_tier()) {
+#if defined(FTM_HOSTSIMD_X86)
+    case Tier::Avx2: add_f32_avx2(acc, x_, n); return;
+#elif defined(FTM_HOSTSIMD_NEON)
+    case Tier::Neon: add_f32_neon(acc, x_, n); return;
+#endif
+    default: add_f32_scalar(acc, x_, n); return;
+  }
+}
+
+void add_f64(double* acc, const double* x_, std::size_t n) {
+  switch (active_tier()) {
+#if defined(FTM_HOSTSIMD_X86)
+    case Tier::Avx2: add_f64_avx2(acc, x_, n); return;
+#elif defined(FTM_HOSTSIMD_NEON)
+    case Tier::Neon: add_f64_neon(acc, x_, n); return;
+#endif
+    default: add_f64_scalar(acc, x_, n); return;
+  }
+}
+
+}  // namespace ftm::kernelgen::hostsimd

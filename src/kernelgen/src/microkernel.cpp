@@ -1,9 +1,32 @@
 #include "ftm/kernelgen/microkernel.hpp"
 
 #include <cmath>
+#include <cstring>
 #include <vector>
 
+#include "ftm/kernelgen/hostsimd.hpp"
+
 namespace ftm::kernelgen {
+
+namespace {
+
+// Reusable accumulator-bank scratch: run_fast is the hottest function of
+// functional simulation and used to pay a heap allocation per call. One
+// buffer per host thread also keeps the parallel execution engine
+// (core::HostExecEngine) allocation-free and race-free.
+float* scratch_f32(std::size_t n) {
+  thread_local std::vector<float> buf;
+  if (buf.size() < n) buf.resize(n);
+  return buf.data();
+}
+
+double* scratch_f64(std::size_t n) {
+  thread_local std::vector<double> buf;
+  if (buf.size() < n) buf.resize(n);
+  return buf.data();
+}
+
+}  // namespace
 
 MicroKernel::MicroKernel(const KernelSpec& spec, const isa::MachineConfig& mc)
     : spec_(spec),
@@ -55,44 +78,48 @@ std::uint64_t MicroKernel::run_fast(const float* a, const float* b,
   // Accumulator banks mirror the generated code: bank `kui` accumulates
   // k = i*ku + kui, remainder step j lands in bank j % ku, and banks are
   // reduced into bank 0 in ascending order — making this path bit-identical
-  // to the detailed simulation (both use fmaf).
-  std::vector<float> banks(static_cast<std::size_t>(ku) * ld);
+  // to the detailed simulation. The inner loops are elementwise over x, so
+  // the hostsimd primitives (AVX2/NEON fused ops, same IEEE rounding as
+  // std::fmaf) change nothing but speed.
+  float* banks = scratch_f32(static_cast<std::size_t>(ku) * ld);
   for (int mm = 0; mm < ms; mm += mu) {
     const int mu_t = std::min(mu, ms - mm);
     for (int r = 0; r < mu_t; ++r) {
       const int row = mm + r;
-      float* bank0 = banks.data();
+      float* bank0 = banks;
       if (spec_.load_c) {
-        for (int x = 0; x < ld; ++x) bank0[x] = c[row * ld + x];
+        std::memcpy(bank0, c + static_cast<std::size_t>(row) * ld,
+                    static_cast<std::size_t>(ld) * sizeof(float));
       } else {
-        for (int x = 0; x < ld; ++x) bank0[x] = 0.0f;
+        std::memset(bank0, 0, static_cast<std::size_t>(ld) * sizeof(float));
       }
-      for (int kui = 1; kui < ku; ++kui) {
-        float* bk = banks.data() + kui * ld;
-        for (int x = 0; x < ld; ++x) bk[x] = 0.0f;
+      if (ku > 1) {
+        std::memset(banks + ld, 0,
+                    static_cast<std::size_t>(ku - 1) * ld * sizeof(float));
       }
       const float* arow = a + static_cast<std::size_t>(row) * ka;
       for (int i = 0; i < nk; ++i) {
         for (int kui = 0; kui < ku; ++kui) {
           const int k = i * ku + kui;
-          const float av = arow[k];
           const float* brow = b + static_cast<std::size_t>(k) * ld;
-          float* bk = banks.data() + kui * ld;
-          for (int x = 0; x < vn * 32; ++x) bk[x] = std::fmaf(av, brow[x], bk[x]);
+          hostsimd::fmadd_f32(banks + static_cast<std::size_t>(kui) * ld,
+                              arow[k], brow,
+                              static_cast<std::size_t>(vn) * 32);
         }
       }
       for (int j = 0; j < krem; ++j) {
         const int k = nk * ku + j;
-        const float av = arow[k];
         const float* brow = b + static_cast<std::size_t>(k) * ld;
-        float* bk = banks.data() + (j % ku) * ld;
-        for (int x = 0; x < vn * 32; ++x) bk[x] = std::fmaf(av, brow[x], bk[x]);
+        hostsimd::fmadd_f32(banks + static_cast<std::size_t>(j % ku) * ld,
+                            arow[k], brow,
+                            static_cast<std::size_t>(vn) * 32);
       }
       for (int kui = 1; kui < ku; ++kui) {
-        const float* bk = banks.data() + kui * ld;
-        for (int x = 0; x < ld; ++x) bank0[x] += bk[x];
+        hostsimd::add_f32(bank0, banks + static_cast<std::size_t>(kui) * ld,
+                          static_cast<std::size_t>(ld));
       }
-      for (int x = 0; x < ld; ++x) c[row * ld + x] = bank0[x];
+      std::memcpy(c + static_cast<std::size_t>(row) * ld, bank0,
+                  static_cast<std::size_t>(ld) * sizeof(float));
     }
   }
   return calib_.cycles;
@@ -109,43 +136,43 @@ std::uint64_t MicroKernel::run_fast_f64(const double* a, const double* b,
   const int nk = ka / ku;
   const int krem = ka - nk * ku;
 
-  std::vector<double> banks(static_cast<std::size_t>(ku) * ld);
+  double* banks = scratch_f64(static_cast<std::size_t>(ku) * ld);
   for (int mm = 0; mm < ms; mm += mu) {
     const int mu_t = std::min(mu, ms - mm);
     for (int r = 0; r < mu_t; ++r) {
       const int row = mm + r;
-      double* bank0 = banks.data();
+      double* bank0 = banks;
       if (spec_.load_c) {
-        for (int x = 0; x < ld; ++x) bank0[x] = c[row * ld + x];
+        std::memcpy(bank0, c + static_cast<std::size_t>(row) * ld,
+                    static_cast<std::size_t>(ld) * sizeof(double));
       } else {
-        for (int x = 0; x < ld; ++x) bank0[x] = 0.0;
+        std::memset(bank0, 0, static_cast<std::size_t>(ld) * sizeof(double));
       }
-      for (int kui = 1; kui < ku; ++kui) {
-        double* bk = banks.data() + kui * ld;
-        for (int x = 0; x < ld; ++x) bk[x] = 0.0;
+      if (ku > 1) {
+        std::memset(banks + ld, 0,
+                    static_cast<std::size_t>(ku - 1) * ld * sizeof(double));
       }
       const double* arow = a + static_cast<std::size_t>(row) * ka;
       for (int i = 0; i < nk; ++i) {
         for (int kui = 0; kui < ku; ++kui) {
           const int k = i * ku + kui;
-          const double av = arow[k];
           const double* brow = b + static_cast<std::size_t>(k) * ld;
-          double* bk = banks.data() + kui * ld;
-          for (int x = 0; x < ld; ++x) bk[x] = std::fma(av, brow[x], bk[x]);
+          hostsimd::fmadd_f64(banks + static_cast<std::size_t>(kui) * ld,
+                              arow[k], brow, static_cast<std::size_t>(ld));
         }
       }
       for (int j = 0; j < krem; ++j) {
         const int k = nk * ku + j;
-        const double av = arow[k];
         const double* brow = b + static_cast<std::size_t>(k) * ld;
-        double* bk = banks.data() + (j % ku) * ld;
-        for (int x = 0; x < ld; ++x) bk[x] = std::fma(av, brow[x], bk[x]);
+        hostsimd::fmadd_f64(banks + static_cast<std::size_t>(j % ku) * ld,
+                            arow[k], brow, static_cast<std::size_t>(ld));
       }
       for (int kui = 1; kui < ku; ++kui) {
-        const double* bk = banks.data() + kui * ld;
-        for (int x = 0; x < ld; ++x) bank0[x] += bk[x];
+        hostsimd::add_f64(bank0, banks + static_cast<std::size_t>(kui) * ld,
+                          static_cast<std::size_t>(ld));
       }
-      for (int x = 0; x < ld; ++x) c[row * ld + x] = bank0[x];
+      std::memcpy(c + static_cast<std::size_t>(row) * ld, bank0,
+                  static_cast<std::size_t>(ld) * sizeof(double));
     }
   }
   return calib_.cycles;

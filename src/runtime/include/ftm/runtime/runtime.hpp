@@ -49,6 +49,7 @@
 #include "ftm/runtime/request.hpp"
 #include "ftm/runtime/stats.hpp"
 #include "ftm/util/reporter.hpp"
+#include "ftm/util/task_pool.hpp"
 
 namespace ftm::runtime {
 
@@ -96,6 +97,12 @@ struct RuntimeOptions {
   /// into every cluster's engine; shared and thread-safe like the
   /// KernelCache. nullptr = analytic paper-default plans only.
   std::shared_ptr<const core::PlanProvider> tuning;
+  /// Host execution engine (docs/performance.md): threads of the shared
+  /// TaskPool that runs deferred functional work for all clusters. 0 =
+  /// auto (min(hardware_concurrency, 8)), 1 = inline serial execution (no
+  /// pool, the pre-engine behavior). Never affects simulated cycles. A
+  /// request whose FtimmOptions already carry a host_pool keeps it.
+  int host_threads = 0;
 };
 
 /// Result of run_all(): the simulated makespan of a whole batch.
@@ -189,6 +196,7 @@ class GemmRuntime {
     Health health;
   };
 
+  void init_host_pool();
   void start_workers();
   void worker_loop(int cluster);
   /// One dispatch: executes, then delivers / retries / falls back / fails.
@@ -222,6 +230,9 @@ class GemmRuntime {
 
   RuntimeOptions ro_;
   isa::MachineConfig mc_;
+  /// Shared by all cluster workers' host execution engines; nullptr when
+  /// host_threads == 1. Declared before workers_ so it outlives them.
+  std::unique_ptr<TaskPool> host_pool_;
   std::vector<ClusterState> clusters_;
   RequestQueue queue_;
   PlanCache plans_;

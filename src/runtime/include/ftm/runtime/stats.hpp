@@ -26,6 +26,10 @@ struct RequestStats {
   bool failed = false;           ///< resolved its future with an exception
   double queue_wait_ms = 0;      ///< host wall-clock submit -> dispatch
   double exec_ms = 0;            ///< host wall-clock dispatch -> done
+  /// Host wall-µs inside the engine call itself (GemmResult::host_wall_us):
+  /// exec_ms minus plan lookup and dispatch overhead. The host execution
+  /// engine's speedup shows up here. 0 for CPU-fallback dispatches.
+  double host_wall_us = 0;
   std::uint64_t sim_cycles = 0;  ///< simulated cluster cycles
   core::Strategy strategy = core::Strategy::Auto;
 };

@@ -264,6 +264,7 @@ GemmRuntime::GemmRuntime(const RuntimeOptions& ro,
     if (ro_.tuning) cs.engine->set_plan_provider(ro_.tuning);
     cs.lanes.assign(static_cast<std::size_t>(mc.cores_per_cluster), 0);
   }
+  init_host_pool();
   start_workers();
 }
 
@@ -285,7 +286,17 @@ GemmRuntime::GemmRuntime(const std::vector<core::FtimmEngine*>& engines,
     clusters_[c].lanes.assign(static_cast<std::size_t>(mc_.cores_per_cluster),
                               0);
   }
+  init_host_pool();
   start_workers();
+}
+
+void GemmRuntime::init_host_pool() {
+  FTM_EXPECTS(ro_.host_threads >= 0);
+  unsigned threads = static_cast<unsigned>(ro_.host_threads);
+  if (threads == 0) {
+    threads = std::min(8u, std::max(1u, std::thread::hardware_concurrency()));
+  }
+  if (threads > 1) host_pool_ = std::make_unique<TaskPool>(threads);
 }
 
 GemmRuntime::~GemmRuntime() {
@@ -351,6 +362,10 @@ std::unique_ptr<Request> GemmRuntime::make_request(
   }
   r->in = in;
   r->opt = opt;
+  // Attach the shared host pool unless the caller brought their own; the
+  // engine's functional work then runs across pool threads (cycle results
+  // are pool-size-independent, see docs/performance.md).
+  if (r->opt.host_pool == nullptr) r->opt.host_pool = host_pool_.get();
   r->submit_time = std::chrono::steady_clock::now();
   return r;
 }
@@ -546,6 +561,7 @@ void GemmRuntime::process(int cluster, std::unique_ptr<Request> req,
   if (ok) {
     rs.sim_cycles = result.cycles;
     rs.strategy = result.strategy;
+    rs.host_wall_us = result.host_wall_us;
   }
 #if FTM_TRACE_ENABLED
   if (trace::TraceSession* ts = trace::TraceSession::current()) {
@@ -1111,14 +1127,20 @@ void GemmRuntime::reset_clocks() {
 Table GemmRuntime::report() const {
   const RuntimeStats s = stats();
   std::vector<double> waits;
+  std::vector<double> host_us;
   {
     const std::lock_guard<std::mutex> lock(stats_mu_);
     waits.reserve(log_.size());
-    for (const RequestStats& r : log_) waits.push_back(r.queue_wait_ms);
+    host_us.reserve(log_.size());
+    for (const RequestStats& r : log_) {
+      waits.push_back(r.queue_wait_ms);
+      host_us.push_back(r.host_wall_us);
+    }
   }
   Table t({"cluster", "requests", "busy_cycles", "plan_hits", "plan_misses",
            "tuned", "steals", "splits", "faults", "retries", "fallbacks",
-           "quarantines", "probes", "health", "wait_p50_ms", "wait_p95_ms"});
+           "quarantines", "probes", "health", "wait_p50_ms", "wait_p95_ms",
+           "host_p50_us", "host_p95_us"});
   std::uint64_t total_q = 0, total_p = 0;
   for (std::size_t c = 0; c < s.cluster_requests.size(); ++c) {
     total_q += s.cluster_quarantines[c];
@@ -1139,6 +1161,8 @@ Table GemmRuntime::report() const {
         .cell(static_cast<std::size_t>(s.cluster_probes[c]))
         .cell(s.cluster_quarantined[c] ? "quarantined" : "ok")
         .cell("")
+        .cell("")
+        .cell("")
         .cell("");
   }
   t.begin_row()
@@ -1157,7 +1181,9 @@ Table GemmRuntime::report() const {
       .cell(static_cast<std::size_t>(total_p))
       .cell("")
       .cell(percentile(waits, 50), 3)
-      .cell(percentile(waits, 95), 3);
+      .cell(percentile(waits, 95), 3)
+      .cell(percentile(host_us, 50), 1)
+      .cell(percentile(host_us, 95), 1);
   return t;
 }
 

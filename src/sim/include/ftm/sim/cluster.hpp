@@ -60,6 +60,14 @@ class Cluster {
   DmaHandle dma(int c, const DmaRequest& req, const std::uint8_t* src,
                 std::uint8_t* dst);
 
+  /// Timing/fault/trace half of dma() only: charges the transfer on core
+  /// `c`'s timeline without moving any bytes. The host execution engine
+  /// uses this to decouple the (eager, deterministic) timing simulation
+  /// from the (deferrable) functional copy; callers in functional mode
+  /// must perform dma_copy(req, src, dst) themselves. Fault injection
+  /// still throws here, i.e. before any bytes would move.
+  DmaHandle dma_issue(int c, const DmaRequest& req);
+
   /// Synchronize all active cores' clocks to the latest one (barrier).
   void barrier();
 

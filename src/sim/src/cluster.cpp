@@ -59,16 +59,21 @@ void Cluster::set_active_cores(int n) {
 
 DmaHandle Cluster::dma(int c, const DmaRequest& req, const std::uint8_t* src,
                        std::uint8_t* dst) {
+  const DmaHandle h = dma_issue(c, req);  // throws before any bytes move
+  if (functional_) {
+    FTM_EXPECTS(src != nullptr && dst != nullptr);
+    dma_copy(req, src, dst);
+  }
+  return h;
+}
+
+DmaHandle Cluster::dma_issue(int c, const DmaRequest& req) {
   FTM_EXPECTS(c >= 0 && c < num_cores());
   std::uint64_t cost = dma_cost_cycles(mc_, req, active_cores_);
   if (fault_ != nullptr) {
     // May throw FaultError (DmaError / SpmEcc / ClusterDead) before any
     // bytes move, or return a timeout penalty charged on the timeline.
     cost += fault_->on_dma(id_, c, req.total_bytes());
-  }
-  if (functional_) {
-    FTM_EXPECTS(src != nullptr && dst != nullptr);
-    dma_copy(req, src, dst);
   }
   timelines_[c].add_dma_bytes(req.total_bytes());
   const DmaHandle h = timelines_[c].dma_start(cost);

@@ -1,0 +1,72 @@
+#include "ftm/util/task_pool.hpp"
+
+#include <algorithm>
+
+namespace ftm {
+
+TaskPool::TaskPool(unsigned parallelism) {
+  if (parallelism == 0) {
+    parallelism = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(parallelism - 1);
+  for (unsigned i = 1; i < parallelism; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+TaskPool::~TaskPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void TaskPool::drain(const std::shared_ptr<Batch>& b,
+                     std::unique_lock<std::mutex>& lk) {
+  while (b->next < b->tasks.size()) {
+    const std::size_t idx = b->next++;
+    lk.unlock();
+    b->tasks[idx]();
+    lk.lock();
+    if (++b->done == b->tasks.size()) done_cv_.notify_all();
+  }
+}
+
+void TaskPool::worker_loop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    std::shared_ptr<Batch> found;
+    for (const auto& b : active_) {
+      if (b->next < b->tasks.size()) {
+        found = b;
+        break;
+      }
+    }
+    if (found) {
+      drain(found, lk);
+      continue;
+    }
+    if (shutdown_) return;
+    work_cv_.wait(lk);
+  }
+}
+
+void TaskPool::run_batch(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  if (workers_.empty() || tasks.size() == 1) {
+    for (auto& t : tasks) t();
+    return;
+  }
+  auto batch = std::make_shared<Batch>();
+  batch->tasks = std::move(tasks);
+  std::unique_lock<std::mutex> lk(mu_);
+  active_.push_back(batch);
+  work_cv_.notify_all();
+  drain(batch, lk);
+  done_cv_.wait(lk, [&] { return batch->done == batch->tasks.size(); });
+  active_.erase(std::find(active_.begin(), active_.end(), batch));
+}
+
+}  // namespace ftm

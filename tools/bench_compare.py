@@ -14,6 +14,11 @@ small refactors. Rules:
     compared for equality of applicability only;
   * new entries in CURRENT are allowed (the matrix can grow).
 
+Entries may also carry an informational "wall_us" field (host wall-clock
+of the run). Its aggregate drift is printed for visibility but can never
+fail the gate: wall time is machine- and load-dependent, unlike the
+bit-reproducible cycle counts.
+
 Baseline refresh procedure: docs/tuning.md.
 """
 
@@ -28,9 +33,11 @@ def load(path):
     if doc.get("schema") != 1:
         sys.exit(f"{path}: unsupported schema {doc.get('schema')!r}")
     entries = {}
+    walls = {}
     for e in doc["entries"]:
         entries[(e["shape"], e["variant"])] = int(e["cycles"])
-    return entries
+        walls[(e["shape"], e["variant"])] = int(e.get("wall_us", 0))
+    return entries, walls
 
 
 def main():
@@ -41,8 +48,8 @@ def main():
                     help="max allowed cycle growth in percent (default 0.5)")
     args = ap.parse_args()
 
-    base = load(args.baseline)
-    cur = load(args.current)
+    base, base_walls = load(args.baseline)
+    cur, cur_walls = load(args.current)
 
     failures = []
     improved = 0
@@ -68,6 +75,14 @@ def main():
     added = sorted(set(cur) - set(base))
     for shape, variant in added:
         print(f"note: new entry {shape}/{variant}")
+
+    # Informational wall-clock drift (never gated: host-dependent).
+    base_wall = sum(base_walls.get(k, 0) for k in base)
+    cur_wall = sum(cur_walls.get(k, 0) for k in base)
+    if base_wall > 0 and cur_wall > 0:
+        drift = 100.0 * (cur_wall - base_wall) / base_wall
+        print(f"wall-clock (informational): {base_wall} -> {cur_wall} us "
+              f"total ({drift:+.1f}%)")
 
     if failures:
         print(f"PERF GATE FAILED ({len(failures)} regressions, "
