@@ -12,12 +12,21 @@
 //    the checked-in bench/baseline.json and fails on any >0.5% cycle
 //    regression. The simulator is bit-reproducible, so the gate is
 //    noise-free; refresh procedure in docs/tuning.md.
+//
+// The gate matrix also carries operator-graph chains (ISSUE 6): each is a
+// fixed layer chain run through the GraphExecutor with residency planning
+// on, emitted under variant "graph" (cycles) — plus the planned DDR bytes
+// under variant "graph_ddr" so a planner regression that re-inflates DDR
+// traffic fails the external gate exactly like a cycle regression.
 #include <cstdio>
 #include <fstream>
 #include <string>
 #include <vector>
 
 #include "ftm/core/ftimm.hpp"
+#include "ftm/graph/executor.hpp"
+#include "ftm/graph/graph.hpp"
+#include "ftm/runtime/runtime.hpp"
 #include "ftm/tune/tuner.hpp"
 #include "ftm/util/cli.hpp"
 #include "ftm/util/reporter.hpp"
@@ -67,6 +76,71 @@ std::uint64_t run_forced(core::FtimmEngine& eng, const Shape& s,
     wall_us = 0;
     return 0;
   }
+}
+
+// ---- operator-graph chains (ISSUE 6) ------------------------------------
+
+struct GraphRow {
+  const char* name;
+  graph::GraphResult result;
+};
+
+graph::Graph make_gate_mlp(std::size_t rows,
+                           const std::vector<std::size_t>& dims) {
+  graph::Graph g;
+  graph::TensorId h = g.input("x", rows, dims[0]);
+  for (std::size_t l = 0; l + 1 < dims.size(); ++l) {
+    const std::string ln = "l" + std::to_string(l + 1);
+    const graph::TensorId w = g.input(ln + ".w", dims[l], dims[l + 1]);
+    const graph::TensorId b = g.input(ln + ".b", 1, dims[l + 1]);
+    h = g.bias_add(g.gemm(h, w, ln), b);
+    if (l + 2 < dims.size()) h = g.relu(h);
+  }
+  g.mark_output(h);
+  return g;
+}
+
+graph::Graph make_gate_gemm3(std::size_t m, std::size_t k, std::size_t n) {
+  graph::Graph g;
+  const graph::TensorId x = g.input("x", m, k);
+  const graph::TensorId w1 = g.input("w1", k, n);
+  const graph::TensorId w2 = g.input("w2", n, n);
+  const graph::TensorId w3 = g.input("w3", n, n);
+  g.mark_output(g.gemm(g.gemm(g.gemm(x, w1), w2), w3));
+  return g;
+}
+
+graph::Graph make_gate_conv(std::size_t in_ch, std::size_t hw,
+                            std::size_t out_ch) {
+  graph::Graph g;
+  graph::ConvParams p;
+  p.in_ch = in_ch;
+  p.height = p.width = hw;
+  const graph::TensorId img = g.input("img", p.batch * in_ch * hw, hw);
+  const graph::TensorId filters = g.input("filters", p.gemm_k(), out_ch);
+  g.mark_output(graph::conv2d(g, img, filters, p, "conv"));
+  return g;
+}
+
+/// Fixed chain matrix, timing-only, planning on. Do not reorder (the
+/// baseline JSON is diffed entry-by-entry, like kShapes).
+std::vector<GraphRow> run_graph_chains() {
+  runtime::RuntimeOptions ro;
+  ro.split_wide = false;  // idle-cluster-dependent sharding is not
+                          // bit-reproducible; the gate requires it
+  runtime::GemmRuntime rt(ro);
+  graph::GraphOptions opt;
+  opt.gemm.functional = false;
+  std::vector<std::pair<const char*, graph::Graph>> chains;
+  chains.emplace_back("graph:mlp3-1847", make_gate_mlp(1847, {512, 256, 64, 10}));
+  chains.emplace_back("graph:gemm3-384x64", make_gate_gemm3(384, 64, 64));
+  chains.emplace_back("graph:conv-48x48x64", make_gate_conv(64, 48, 96));
+  std::vector<GraphRow> rows;
+  for (auto& [name, g] : chains) {
+    graph::GraphExecutor ex(rt, opt);
+    rows.push_back({name, ex.run(g, {})});
+  }
+  return rows;
 }
 
 }  // namespace
@@ -132,6 +206,18 @@ int main(int argc, char** argv) {
   }
   t.print("perf gate (simulated cycles)");
 
+  const std::vector<GraphRow> graph_rows = run_graph_chains();
+  Table gt({"chain", "nodes", "cycles", "DDR KB (planned)", "saved KB"});
+  for (const GraphRow& r : graph_rows) {
+    gt.begin_row()
+        .cell(r.name)
+        .cell(r.result.nodes)
+        .cell(static_cast<std::size_t>(r.result.cycles))
+        .cell(r.result.ddr_bytes / 1e3, 1)
+        .cell(r.result.ddr_bytes_saved / 1e3, 1);
+  }
+  gt.print("perf gate: operator-graph chains (residency planning on)");
+
   std::ofstream f(out);
   if (!f) {
     std::fprintf(stderr, "perf_gate: cannot write %s\n", out.c_str());
@@ -156,6 +242,21 @@ int main(int argc, char** argv) {
     emit(r.s, "default", r.def, r.wall[3]);
     emit(r.s, "tuned", r.tuned, r.wall[4]);
   }
+  // Graph chains: cycles under "graph", planned DDR bytes under
+  // "graph_ddr" (in the cycles field — bench_compare.py gates any growth
+  // beyond tolerance, which is exactly the planner-regression check).
+  const auto emit_named = [&](const char* name, const char* variant,
+                              std::uint64_t value, double wall_us) {
+    if (!first) f << ",\n";
+    first = false;
+    f << "    {\"shape\": \"" << name << "\", \"variant\": \"" << variant
+      << "\", \"cycles\": " << value
+      << ", \"wall_us\": " << static_cast<std::uint64_t>(wall_us) << "}";
+  };
+  for (const GraphRow& r : graph_rows) {
+    emit_named(r.name, "graph", r.result.cycles, r.result.host_wall_us);
+    emit_named(r.name, "graph_ddr", r.result.ddr_bytes, 0);
+  }
   f << "\n  ]\n}\n";
   f.close();
   std::printf("wrote %s\n", out.c_str());
@@ -176,6 +277,16 @@ int main(int argc, char** argv) {
     if (r.s.irregular &&
         static_cast<double>(r.tuned) <= 0.95 * static_cast<double>(r.def)) {
       ++big_wins;
+    }
+  }
+  for (const GraphRow& r : graph_rows) {
+    if (r.result.ddr_bytes_saved == 0 ||
+        r.result.ddr_bytes >= r.result.ddr_bytes_unplanned) {
+      std::fprintf(stderr,
+                   "GATE FAIL: %s: residency planning saved no DDR "
+                   "traffic\n",
+                   r.name);
+      ++failures;
     }
   }
   if (big_wins < 3) {

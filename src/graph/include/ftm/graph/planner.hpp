@@ -1,0 +1,75 @@
+// Scratchpad-residency memory planner (ISSUE 6, docs/graph.md).
+//
+// Decides, before anything executes, where every tensor of a Graph lives:
+// topo-order liveness analysis assigns intermediates to a scratchpad
+// arena — GSM by default, AM when the single consumer is the very next op
+// (a same-cluster handoff) — with in-place buffer reuse for elementwise
+// ops and deterministic spill-to-DDR when the arena is full. The
+// memonger-style idea (caffe2 python/memonger.py): liveness intervals +
+// first-fit arena offsets, all computed from graph structure alone, so
+// the plan is bit-reproducible and explainable (report()).
+//
+// The plan is a *model*: buffers are always host memory; placement feeds
+// the executor's DDR-traffic and elementwise-cycle accounting (GEMM-node
+// internal timing still comes from the engine unchanged). What the model
+// deletes is exactly the per-edge DDR round-trip — producer store + one
+// load per consumer — which executor.hpp surfaces as graph.ddr_bytes_saved.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ftm/graph/graph.hpp"
+#include "ftm/isa/machine.hpp"
+#include "ftm/util/reporter.hpp"
+
+namespace ftm::graph {
+
+struct PlannerOptions {
+  /// Master switch. false = every tensor in DDR: the unplanned baseline
+  /// the bench A/Bs against.
+  bool residency = true;
+  /// Allow a dying elementwise input's buffer to be reused for the output.
+  bool inplace = true;
+  /// Arena capacities; 0 = take them from the MachineConfig (gsm_bytes,
+  /// and one core's am_bytes for the next-op handoff slot).
+  std::size_t gsm_bytes = 0;
+  std::size_t am_bytes = 0;
+};
+
+/// Planner verdict for one tensor.
+struct TensorPlan {
+  Placement placement = Placement::Ddr;
+  std::size_t offset = 0;   ///< byte offset in the GSM arena (Gsm only)
+  TensorId alias_of = -1;   ///< in-place reuse: shares this tensor's buffer
+  int def_step = -1;        ///< topo step of the producer; -1 = external
+  int last_use = -1;        ///< last topo step that reads it; outputs live on
+  bool spilled = false;     ///< wanted residency but the arena was full
+  std::string why;          ///< one-line explanation for report()
+};
+
+struct MemoryPlan {
+  std::vector<NodeId> order;        ///< topo execution order
+  std::vector<TensorPlan> tensors;  ///< indexed by TensorId
+  std::size_t gsm_peak_bytes = 0;   ///< high-water mark of the GSM arena
+  std::size_t am_peak_bytes = 0;
+  std::size_t resident_tensors = 0;
+  std::size_t inplace_tensors = 0;
+  std::size_t spilled_tensors = 0;
+  /// Modeled DDR bytes residency deletes: for every resident edge, one
+  /// producer store plus one load per consumer.
+  std::uint64_t ddr_bytes_saved = 0;
+
+  /// Per-tensor decision table (placement, offset, liveness, why) — the
+  /// explainability hook the tests pin down.
+  Table report(const Graph& g) const;
+};
+
+/// Runs liveness + placement for `g` on machine `mc`. Validates the graph
+/// first (throws ContractViolation on structural errors). Deterministic:
+/// same graph + machine + options => byte-identical plan.
+MemoryPlan plan_memory(const Graph& g, const isa::MachineConfig& mc,
+                       const PlannerOptions& po = {});
+
+}  // namespace ftm::graph

@@ -1,0 +1,266 @@
+#include "ftm/graph/graph.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace ftm::graph {
+
+const char* to_string(Placement p) {
+  switch (p) {
+    case Placement::Ddr: return "ddr";
+    case Placement::Gsm: return "gsm";
+    case Placement::Am: return "am";
+  }
+  return "?";
+}
+
+const char* to_string(OpKind k) {
+  switch (k) {
+    case OpKind::Gemm: return "gemm";
+    case OpKind::Add: return "add";
+    case OpKind::Relu: return "relu";
+    case OpKind::BiasAdd: return "bias_add";
+    case OpKind::Im2col: return "im2col";
+  }
+  return "?";
+}
+
+TensorId Graph::new_tensor(std::string name, std::size_t rows,
+                           std::size_t cols, bool external) {
+  FTM_EXPECTS(rows > 0 && cols > 0);
+  Tensor t;
+  t.name = name.empty()
+               ? ("t" + std::to_string(tensors_.size()))
+               : std::move(name);
+  t.rows = rows;
+  t.cols = cols;
+  t.external = external;
+  tensors_.push_back(std::move(t));
+  return static_cast<TensorId>(tensors_.size() - 1);
+}
+
+TensorId Graph::new_node(OpKind kind, std::string name,
+                         std::vector<TensorId> inputs, std::size_t out_rows,
+                         std::size_t out_cols, const ConvParams* conv) {
+  for (TensorId t : inputs) check_tensor(t);
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  Node n;
+  n.kind = kind;
+  n.name = name.empty()
+               ? (std::string(to_string(kind)) + std::to_string(id))
+               : std::move(name);
+  n.inputs = std::move(inputs);
+  if (conv != nullptr) n.conv = *conv;
+  n.output = new_tensor(n.name + ".out", out_rows, out_cols, false);
+  tensors_[static_cast<std::size_t>(n.output)].producer = id;
+  for (TensorId t : n.inputs) {
+    tensors_[static_cast<std::size_t>(t)].consumers.push_back(id);
+  }
+  nodes_.push_back(std::move(n));
+  check_shapes(nodes_.back());
+  return nodes_.back().output;
+}
+
+void Graph::check_tensor(TensorId t) const {
+  FTM_EXPECTS(t >= 0 && static_cast<std::size_t>(t) < tensors_.size());
+}
+
+void Graph::check_shapes(const Node& n) const {
+  const auto& shape = [&](std::size_t i) -> const Tensor& {
+    return tensors_[static_cast<std::size_t>(n.inputs[i])];
+  };
+  const Tensor& out = tensors_[static_cast<std::size_t>(n.output)];
+  switch (n.kind) {
+    case OpKind::Gemm:
+      FTM_EXPECTS(n.inputs.size() == 2);
+      // Inner dimensions must agree: A is MxK, B is KxN.
+      FTM_EXPECTS(shape(0).cols == shape(1).rows);
+      FTM_EXPECTS(out.rows == shape(0).rows && out.cols == shape(1).cols);
+      break;
+    case OpKind::Add:
+      FTM_EXPECTS(n.inputs.size() == 2);
+      FTM_EXPECTS(shape(0).rows == shape(1).rows &&
+                  shape(0).cols == shape(1).cols);
+      FTM_EXPECTS(out.rows == shape(0).rows && out.cols == shape(0).cols);
+      break;
+    case OpKind::Relu:
+      FTM_EXPECTS(n.inputs.size() == 1);
+      FTM_EXPECTS(out.rows == shape(0).rows && out.cols == shape(0).cols);
+      break;
+    case OpKind::BiasAdd:
+      FTM_EXPECTS(n.inputs.size() == 2);
+      // The bias is a single row broadcast over every row of x.
+      FTM_EXPECTS(shape(1).rows == 1 && shape(1).cols == shape(0).cols);
+      FTM_EXPECTS(out.rows == shape(0).rows && out.cols == shape(0).cols);
+      break;
+    case OpKind::Im2col: {
+      FTM_EXPECTS(n.inputs.size() == 1);
+      const ConvParams& p = n.conv;
+      FTM_EXPECTS(p.kh > 0 && p.kw > 0 && p.stride > 0);
+      FTM_EXPECTS(p.height + 2 * p.pad >= p.kh &&
+                  p.width + 2 * p.pad >= p.kw);
+      // Image layout: NCHW flattened to (batch*in_ch*height) x width.
+      FTM_EXPECTS(shape(0).rows == p.batch * p.in_ch * p.height &&
+                  shape(0).cols == p.width);
+      FTM_EXPECTS(out.rows == p.gemm_m() && out.cols == p.gemm_k());
+      break;
+    }
+  }
+}
+
+TensorId Graph::input(std::string name, std::size_t rows, std::size_t cols) {
+  return new_tensor(std::move(name), rows, cols, true);
+}
+
+TensorId Graph::gemm(TensorId a, TensorId b, std::string name) {
+  check_tensor(a);
+  check_tensor(b);
+  const Tensor& ta = tensor(a);
+  const Tensor& tb = tensor(b);
+  FTM_EXPECTS(ta.cols == tb.rows);  // inner dimension
+  return new_node(OpKind::Gemm, std::move(name), {a, b}, ta.rows, tb.cols);
+}
+
+TensorId Graph::add(TensorId a, TensorId b, std::string name) {
+  check_tensor(a);
+  check_tensor(b);
+  const Tensor& ta = tensor(a);
+  const Tensor& tb = tensor(b);
+  FTM_EXPECTS(ta.rows == tb.rows && ta.cols == tb.cols);
+  return new_node(OpKind::Add, std::move(name), {a, b}, ta.rows, ta.cols);
+}
+
+TensorId Graph::relu(TensorId x, std::string name) {
+  check_tensor(x);
+  const Tensor& tx = tensor(x);
+  return new_node(OpKind::Relu, std::move(name), {x}, tx.rows, tx.cols);
+}
+
+TensorId Graph::bias_add(TensorId x, TensorId bias, std::string name) {
+  check_tensor(x);
+  check_tensor(bias);
+  const Tensor& tx = tensor(x);
+  const Tensor& tb = tensor(bias);
+  FTM_EXPECTS(tb.rows == 1 && tb.cols == tx.cols);
+  return new_node(OpKind::BiasAdd, std::move(name), {x, bias}, tx.rows,
+                  tx.cols);
+}
+
+TensorId Graph::im2col(TensorId image, const ConvParams& p,
+                       std::string name) {
+  check_tensor(image);
+  const Tensor& ti = tensor(image);
+  FTM_EXPECTS(ti.rows == p.batch * p.in_ch * p.height && ti.cols == p.width);
+  return new_node(OpKind::Im2col, std::move(name), {image}, p.gemm_m(),
+                  p.gemm_k(), &p);
+}
+
+void Graph::mark_output(TensorId t) {
+  check_tensor(t);
+  if (!is_output(t)) outputs_.push_back(t);
+}
+
+bool Graph::is_output(TensorId t) const {
+  return std::find(outputs_.begin(), outputs_.end(), t) != outputs_.end();
+}
+
+void Graph::rewire_input(NodeId n, std::size_t slot, TensorId t) {
+  FTM_EXPECTS(n >= 0 && static_cast<std::size_t>(n) < nodes_.size());
+  Node& node = nodes_[static_cast<std::size_t>(n)];
+  FTM_EXPECTS(slot < node.inputs.size());
+  const TensorId old = node.inputs[slot];
+  node.inputs[slot] = t;
+  // Keep consumer lists consistent for ids that do exist; a dangling id
+  // is stored as-is and reported by topo_order()/validate().
+  if (old >= 0 && static_cast<std::size_t>(old) < tensors_.size()) {
+    auto& cs = tensors_[static_cast<std::size_t>(old)].consumers;
+    const auto it = std::find(cs.begin(), cs.end(), n);
+    if (it != cs.end()) cs.erase(it);
+  }
+  if (t >= 0 && static_cast<std::size_t>(t) < tensors_.size()) {
+    tensors_[static_cast<std::size_t>(t)].consumers.push_back(n);
+  }
+}
+
+const Tensor& Graph::tensor(TensorId t) const {
+  check_tensor(t);
+  return tensors_[static_cast<std::size_t>(t)];
+}
+
+const Node& Graph::node(NodeId n) const {
+  FTM_EXPECTS(n >= 0 && static_cast<std::size_t>(n) < nodes_.size());
+  return nodes_[static_cast<std::size_t>(n)];
+}
+
+std::vector<NodeId> Graph::topo_order() const {
+  // Kahn's algorithm over node->node dependencies (producer of each input
+  // tensor), visiting ready nodes lowest-id-first so the order — and with
+  // it every planner decision — is deterministic.
+  const std::size_t nn = nodes_.size();
+  std::vector<int> indegree(nn, 0);
+  for (std::size_t i = 0; i < nn; ++i) {
+    for (TensorId t : nodes_[i].inputs) {
+      if (t < 0 || static_cast<std::size_t>(t) >= tensors_.size()) {
+        throw ContractViolation("graph: node '" + nodes_[i].name +
+                                "' input references tensor " +
+                                std::to_string(t) +
+                                " which does not exist (dangling edge)");
+      }
+      if (tensors_[static_cast<std::size_t>(t)].producer >= 0) ++indegree[i];
+    }
+  }
+  std::priority_queue<NodeId, std::vector<NodeId>, std::greater<NodeId>>
+      ready;
+  for (std::size_t i = 0; i < nn; ++i) {
+    if (indegree[i] == 0) ready.push(static_cast<NodeId>(i));
+  }
+  std::vector<NodeId> order;
+  order.reserve(nn);
+  while (!ready.empty()) {
+    const NodeId n = ready.top();
+    ready.pop();
+    order.push_back(n);
+    const TensorId out = nodes_[static_cast<std::size_t>(n)].output;
+    if (out < 0) continue;
+    for (NodeId c : tensors_[static_cast<std::size_t>(out)].consumers) {
+      if (--indegree[static_cast<std::size_t>(c)] == 0) ready.push(c);
+    }
+  }
+  if (order.size() != nn) {
+    for (std::size_t i = 0; i < nn; ++i) {
+      if (indegree[i] > 0) {
+        throw ContractViolation("graph: cycle detected through node '" +
+                                nodes_[i].name + "'");
+      }
+    }
+  }
+  return order;
+}
+
+void Graph::validate() const {
+  if (outputs_.empty()) {
+    throw ContractViolation("graph: no tensor was marked as an output");
+  }
+  (void)topo_order();  // throws on cycles and dangling edges
+  for (const Node& n : nodes_) check_shapes(n);
+  for (std::size_t t = 0; t < tensors_.size(); ++t) {
+    const Tensor& tn = tensors_[t];
+    if (!tn.external && tn.consumers.empty() &&
+        !is_output(static_cast<TensorId>(t))) {
+      throw ContractViolation("graph: tensor '" + tn.name +
+                              "' is neither consumed nor an output "
+                              "(dead intermediate)");
+    }
+  }
+}
+
+TensorId conv2d(Graph& g, TensorId image, TensorId filters,
+                const ConvParams& p, std::string name) {
+  const Tensor& tf = g.tensor(filters);
+  FTM_EXPECTS(tf.rows == p.gemm_k());
+  const TensorId patches =
+      g.im2col(image, p, name.empty() ? "" : name + ".im2col");
+  return g.gemm(patches, filters, std::move(name));
+}
+
+}  // namespace ftm::graph

@@ -1,0 +1,224 @@
+#include "ftm/graph/planner.hpp"
+
+#include <algorithm>
+
+namespace ftm::graph {
+
+namespace {
+
+/// A live GSM arena allocation: [offset, offset+bytes) is occupied while
+/// any tensor whose interval overlaps [def, last_use] holds it.
+struct ArenaSlot {
+  std::size_t offset = 0;
+  std::size_t bytes = 0;
+  int def = 0;
+  int last_use = 0;
+};
+
+bool intervals_overlap(int a0, int a1, int b0, int b1) {
+  return a0 <= b1 && b0 <= a1;
+}
+
+/// Deterministic first-fit: lowest offset where `bytes` fits without
+/// overlapping any allocation whose live interval intersects [def, lu].
+std::size_t first_fit(const std::vector<ArenaSlot>& slots, std::size_t bytes,
+                      int def, int lu) {
+  std::size_t offset = 0;
+  bool moved = true;
+  while (moved) {
+    moved = false;
+    for (const ArenaSlot& s : slots) {
+      if (!intervals_overlap(s.def, s.last_use, def, lu)) continue;
+      if (offset < s.offset + s.bytes && s.offset < offset + bytes) {
+        offset = s.offset + s.bytes;  // bump past the collision and rescan
+        moved = true;
+      }
+    }
+  }
+  return offset;
+}
+
+/// Follows an alias chain to the tensor that owns the buffer.
+TensorId alias_root(const std::vector<TensorPlan>& plans, TensorId t) {
+  while (plans[static_cast<std::size_t>(t)].alias_of >= 0) {
+    t = plans[static_cast<std::size_t>(t)].alias_of;
+  }
+  return t;
+}
+
+}  // namespace
+
+MemoryPlan plan_memory(const Graph& g, const isa::MachineConfig& mc,
+                       const PlannerOptions& po) {
+  g.validate();
+  MemoryPlan mp;
+  mp.order = g.topo_order();
+  mp.tensors.assign(g.num_tensors(), TensorPlan{});
+
+  const std::size_t gsm_cap = po.gsm_bytes > 0 ? po.gsm_bytes : mc.gsm_bytes;
+  const std::size_t am_cap = po.am_bytes > 0 ? po.am_bytes : mc.am_bytes;
+  const int end_step = static_cast<int>(mp.order.size());
+
+  // --- Liveness: def step of the producer, last topo step that reads. ---
+  std::vector<int> step_of_node(g.num_nodes(), -1);
+  for (std::size_t s = 0; s < mp.order.size(); ++s) {
+    step_of_node[static_cast<std::size_t>(mp.order[s])] =
+        static_cast<int>(s);
+  }
+  for (std::size_t t = 0; t < g.num_tensors(); ++t) {
+    const Tensor& tn = g.tensor(static_cast<TensorId>(t));
+    TensorPlan& p = mp.tensors[t];
+    p.def_step = tn.producer >= 0
+                     ? step_of_node[static_cast<std::size_t>(tn.producer)]
+                     : -1;
+    p.last_use = p.def_step;
+    for (NodeId c : tn.consumers) {
+      p.last_use = std::max(p.last_use,
+                            step_of_node[static_cast<std::size_t>(c)]);
+    }
+    // Graph outputs and externals are caller-visible: live past the end,
+    // never reusable, never resident.
+    if (tn.external || g.is_output(static_cast<TensorId>(t))) {
+      p.last_use = end_step;
+    }
+  }
+
+  // --- In-place reuse: an elementwise op may write into its dying data
+  // input (caffe2 memonger's in-place pass). Never for graph outputs —
+  // they land in the caller's buffer — and never when the input buffer
+  // outlives this node through another consumer or a longer-lived alias
+  // root.
+  if (po.inplace) {
+    for (std::size_t s = 0; s < mp.order.size(); ++s) {
+      const Node& n = g.node(mp.order[s]);
+      if (n.kind != OpKind::Add && n.kind != OpKind::Relu &&
+          n.kind != OpKind::BiasAdd) {
+        continue;
+      }
+      const TensorId in = n.inputs[0];
+      const Tensor& tin = g.tensor(in);
+      if (tin.external || g.is_output(in)) continue;
+      if (g.is_output(n.output)) continue;
+      const TensorId root = alias_root(mp.tensors, in);
+      const Tensor& troot = g.tensor(root);
+      if (troot.external || g.is_output(root)) continue;
+      // The buffer dies here only if every view of it (the root and any
+      // alias on top) has its last use at this step.
+      if (mp.tensors[static_cast<std::size_t>(in)].last_use !=
+              static_cast<int>(s) ||
+          mp.tensors[static_cast<std::size_t>(root)].last_use >
+              static_cast<int>(s)) {
+        continue;
+      }
+      TensorPlan& out = mp.tensors[static_cast<std::size_t>(n.output)];
+      out.alias_of = root;
+      out.why = "in-place into '" + troot.name + "' (input dies here)";
+      // The root's buffer now lives as long as the alias does.
+      mp.tensors[static_cast<std::size_t>(root)].last_use = std::max(
+          mp.tensors[static_cast<std::size_t>(root)].last_use, out.last_use);
+      ++mp.inplace_tensors;
+    }
+  }
+
+  // --- Placement, in topo order of the producing node. ---
+  std::vector<ArenaSlot> gsm_slots;
+  for (std::size_t s = 0; s < mp.order.size(); ++s) {
+    const Node& n = g.node(mp.order[s]);
+    const TensorId t = n.output;
+    const Tensor& tn = g.tensor(t);
+    TensorPlan& p = mp.tensors[static_cast<std::size_t>(t)];
+
+    if (g.is_output(t)) {
+      p.placement = Placement::Ddr;
+      p.why = "graph output (caller-visible DDR buffer)";
+      continue;
+    }
+    if (p.alias_of >= 0) {
+      // Shares its root's buffer and therefore its placement.
+      p.placement =
+          mp.tensors[static_cast<std::size_t>(alias_root(mp.tensors, t))]
+              .placement;
+      continue;
+    }
+    if (!po.residency) {
+      p.why = "residency planning disabled";
+      continue;
+    }
+
+    // AM handoff: the single consumer is the very next op, so the tile
+    // can stay in the producing cores' array memory across the boundary.
+    const bool next_op_handoff =
+        tn.consumers.size() == 1 &&
+        p.last_use == static_cast<int>(s) + 1;
+    if (next_op_handoff && tn.bytes() <= am_cap) {
+      p.placement = Placement::Am;
+      p.why = "AM handoff to the immediately-following op";
+      mp.am_peak_bytes = std::max(mp.am_peak_bytes, tn.bytes());
+      ++mp.resident_tensors;
+      continue;
+    }
+
+    // GSM arena, first-fit over live intervals.
+    const std::size_t off =
+        first_fit(gsm_slots, tn.bytes(), p.def_step, p.last_use);
+    if (off + tn.bytes() <= gsm_cap) {
+      p.placement = Placement::Gsm;
+      p.offset = off;
+      p.why = "GSM arena @" + std::to_string(off);
+      gsm_slots.push_back({off, tn.bytes(), p.def_step, p.last_use});
+      mp.gsm_peak_bytes = std::max(mp.gsm_peak_bytes, off + tn.bytes());
+      ++mp.resident_tensors;
+      continue;
+    }
+
+    p.spilled = true;
+    p.why = "spilled: " + std::to_string(tn.bytes()) +
+            " B does not fit the GSM arena";
+    ++mp.spilled_tensors;
+  }
+
+  // --- Modeled DDR savings: one producer store + one load per consumer
+  // for every edge that never touches DDR. Aliases share a buffer but
+  // still stand for traffic the unplanned path would have spent.
+  for (std::size_t t = 0; t < g.num_tensors(); ++t) {
+    const TensorPlan& p = mp.tensors[t];
+    const Placement pl =
+        p.alias_of >= 0
+            ? mp.tensors[static_cast<std::size_t>(
+                             alias_root(mp.tensors,
+                                        static_cast<TensorId>(t)))]
+                  .placement
+            : p.placement;
+    if (pl == Placement::Ddr) continue;
+    const Tensor& tn = g.tensor(static_cast<TensorId>(t));
+    mp.ddr_bytes_saved +=
+        static_cast<std::uint64_t>(tn.bytes()) * (1 + tn.consumers.size());
+  }
+  return mp;
+}
+
+Table MemoryPlan::report(const Graph& g) const {
+  Table t({"tensor", "shape", "KB", "def", "last_use", "placement",
+           "offset", "decision"});
+  for (std::size_t i = 0; i < tensors.size(); ++i) {
+    const Tensor& tn = g.tensor(static_cast<TensorId>(i));
+    const TensorPlan& p = tensors[i];
+    t.begin_row()
+        .cell(tn.name)
+        .cell(std::to_string(tn.rows) + "x" + std::to_string(tn.cols))
+        .cell(static_cast<double>(tn.bytes()) / 1024.0, 1)
+        .cell(p.def_step)
+        .cell(p.last_use)
+        .cell(p.alias_of >= 0 ? (std::string("alias:") +
+                                 g.tensor(p.alias_of).name)
+                              : std::string(to_string(p.placement)))
+        .cell(static_cast<std::size_t>(p.offset))
+        .cell(p.why.empty()
+                  ? (tn.external ? std::string("external input")
+                                 : std::string("-"))
+                  : p.why);
+  }
+  return t;
+}
+
+}  // namespace ftm::graph

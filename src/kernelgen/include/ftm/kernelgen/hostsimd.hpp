@@ -37,13 +37,24 @@ Tier active_tier();
 /// Returns the tier actually installed.
 Tier set_active_tier(Tier t);
 
+/// Every entry point below validates its operands the way sgemm does —
+/// null arrays with a non-zero length throw ftm::ContractViolation rather
+/// than silently reading through nullptr (the asserts-only gap ISSUE 6's
+/// bugfix sweep closed).
+
 /// acc[x] = fma(a, x_[x], acc[x]) for x in [0, n) — the micro-kernel's
 /// bank-accumulate step (one A element against one padded B/C row).
 void fmadd_f32(float* acc, float a, const float* x_, std::size_t n);
 void fmadd_f64(double* acc, double a, const double* x_, std::size_t n);
 
-/// acc[x] += x_[x] for x in [0, n) — bank reduction / GSM partial merge.
+/// acc[x] += x_[x] for x in [0, n) — bank reduction / GSM partial merge,
+/// and the graph executor's elementwise add/bias ops.
 void add_f32(float* acc, const float* x_, std::size_t n);
 void add_f64(double* acc, const double* x_, std::size_t n);
+
+/// x_[x] = x_[x] > 0 ? x_[x] : 0 for x in [0, n) — the graph executor's
+/// ReLU. Defined via compare-and-mask on every tier, so NaN and -0.0
+/// inputs produce +0.0 identically under scalar, AVX2, and NEON dispatch.
+void relu_f32(float* x_, std::size_t n);
 
 }  // namespace ftm::kernelgen::hostsimd

@@ -3,6 +3,8 @@
 #include <atomic>
 #include <cmath>
 
+#include "ftm/util/assert.hpp"
+
 #if defined(__x86_64__)
 #include <immintrin.h>
 #define FTM_HOSTSIMD_X86 1
@@ -33,6 +35,10 @@ void add_f32_scalar(float* acc, const float* x_, std::size_t n) {
 
 void add_f64_scalar(double* acc, const double* x_, std::size_t n) {
   for (std::size_t x = 0; x < n; ++x) acc[x] += x_[x];
+}
+
+void relu_f32_scalar(float* x_, std::size_t n) {
+  for (std::size_t x = 0; x < n; ++x) x_[x] = x_[x] > 0.0f ? x_[x] : 0.0f;
 }
 
 #if defined(FTM_HOSTSIMD_X86)
@@ -84,6 +90,19 @@ FTM_AVX2_FN void add_f64_avx2(double* acc, const double* x_, std::size_t n) {
   for (; x < n; ++x) acc[x] += x_[x];
 }
 
+FTM_AVX2_FN void relu_f32_avx2(float* x_, std::size_t n) {
+  // Compare-and-mask (not max): x > 0 keeps x, everything else — negatives,
+  // -0.0, NaN — becomes +0.0, matching the scalar body bit-for-bit.
+  const __m256 zero = _mm256_setzero_ps();
+  std::size_t x = 0;
+  for (; x + 8 <= n; x += 8) {
+    const __m256 vx = _mm256_loadu_ps(x_ + x);
+    _mm256_storeu_ps(
+        x_ + x, _mm256_and_ps(vx, _mm256_cmp_ps(vx, zero, _CMP_GT_OQ)));
+  }
+  for (; x < n; ++x) x_[x] = x_[x] > 0.0f ? x_[x] : 0.0f;
+}
+
 #elif defined(FTM_HOSTSIMD_NEON)
 
 // ---- NEON bodies (baseline ISA on AArch64, no dispatch needed) ----------
@@ -120,6 +139,19 @@ void add_f64_neon(double* acc, const double* x_, std::size_t n) {
     vst1q_f64(acc + x, vaddq_f64(vld1q_f64(acc + x), vld1q_f64(x_ + x)));
   }
   for (; x < n; ++x) acc[x] += x_[x];
+}
+
+void relu_f32_neon(float* x_, std::size_t n) {
+  // Compare-and-mask, same semantics as the scalar/AVX2 bodies.
+  const float32x4_t zero = vdupq_n_f32(0.0f);
+  std::size_t x = 0;
+  for (; x + 4 <= n; x += 4) {
+    const float32x4_t vx = vld1q_f32(x_ + x);
+    vst1q_f32(x_ + x,
+              vreinterpretq_f32_u32(vandq_u32(vreinterpretq_u32_f32(vx),
+                                              vcgtq_f32(vx, zero))));
+  }
+  for (; x < n; ++x) x_[x] = x_[x] > 0.0f ? x_[x] : 0.0f;
 }
 
 #endif
@@ -178,6 +210,7 @@ Tier set_active_tier(Tier t) {
 }
 
 void fmadd_f32(float* acc, float a, const float* x_, std::size_t n) {
+  FTM_EXPECTS(n == 0 || (acc != nullptr && x_ != nullptr));
   switch (active_tier()) {
 #if defined(FTM_HOSTSIMD_X86)
     case Tier::Avx2: fmadd_f32_avx2(acc, a, x_, n); return;
@@ -189,6 +222,7 @@ void fmadd_f32(float* acc, float a, const float* x_, std::size_t n) {
 }
 
 void fmadd_f64(double* acc, double a, const double* x_, std::size_t n) {
+  FTM_EXPECTS(n == 0 || (acc != nullptr && x_ != nullptr));
   switch (active_tier()) {
 #if defined(FTM_HOSTSIMD_X86)
     case Tier::Avx2: fmadd_f64_avx2(acc, a, x_, n); return;
@@ -200,6 +234,7 @@ void fmadd_f64(double* acc, double a, const double* x_, std::size_t n) {
 }
 
 void add_f32(float* acc, const float* x_, std::size_t n) {
+  FTM_EXPECTS(n == 0 || (acc != nullptr && x_ != nullptr));
   switch (active_tier()) {
 #if defined(FTM_HOSTSIMD_X86)
     case Tier::Avx2: add_f32_avx2(acc, x_, n); return;
@@ -211,6 +246,7 @@ void add_f32(float* acc, const float* x_, std::size_t n) {
 }
 
 void add_f64(double* acc, const double* x_, std::size_t n) {
+  FTM_EXPECTS(n == 0 || (acc != nullptr && x_ != nullptr));
   switch (active_tier()) {
 #if defined(FTM_HOSTSIMD_X86)
     case Tier::Avx2: add_f64_avx2(acc, x_, n); return;
@@ -218,6 +254,18 @@ void add_f64(double* acc, const double* x_, std::size_t n) {
     case Tier::Neon: add_f64_neon(acc, x_, n); return;
 #endif
     default: add_f64_scalar(acc, x_, n); return;
+  }
+}
+
+void relu_f32(float* x_, std::size_t n) {
+  FTM_EXPECTS(n == 0 || x_ != nullptr);
+  switch (active_tier()) {
+#if defined(FTM_HOSTSIMD_X86)
+    case Tier::Avx2: relu_f32_avx2(x_, n); return;
+#elif defined(FTM_HOSTSIMD_NEON)
+    case Tier::Neon: relu_f32_neon(x_, n); return;
+#endif
+    default: relu_f32_scalar(x_, n); return;
   }
 }
 
