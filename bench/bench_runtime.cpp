@@ -9,7 +9,18 @@
 // (requests resolved with a DSP result vs retried/CPU-fallback/failed)
 // and wall time per rate, plus the wall-clock overhead of the resilience
 // machinery itself with injection disabled (expected < 1%).
+//
+// --replay (ISSUE 7, docs/serving.md) runs the open-loop arrival replay:
+// Poisson arrivals in *simulated* cycles over an irregular small-shape
+// mix, swept across offered rates, once without and once with shape-class
+// coalescing. Per point: p50/p95/p99 simulated latency (finish_cycle -
+// arrival_cycle) and goodput (requests meeting the SLO per second of
+// virtual span). The goodput knee (max over the sweep) with coalescing
+// must clear 1.3x the uncoalesced knee. --smoke shrinks the sweep and
+// asserts structural invariants only (CI); --json PATH appends
+// informational entries for tools/bench_compare.py.
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <future>
 #include <string>
@@ -20,7 +31,9 @@
 #include "ftm/trace/chrome.hpp"
 #include "ftm/trace/trace.hpp"
 #include "ftm/util/cli.hpp"
+#include "ftm/util/prng.hpp"
 #include "ftm/util/reporter.hpp"
+#include "ftm/util/stats.hpp"
 
 using namespace ftm;
 using core::FtimmOptions;
@@ -86,10 +99,232 @@ double run_serving(int requests, double rate, bool resilient,
   return ms;
 }
 
+// ------------------------------------------------ arrival replay (ISSUE 7)
+
+/// One Poisson arrival: a virtual submission cycle and a shape index.
+struct Arrival {
+  std::uint64_t cycle = 0;
+  std::size_t shape = 0;
+};
+
+/// Per-(rate, mode) replay outcome.
+struct ReplayPoint {
+  double offered_rps = 0;
+  double p50_us = 0, p95_us = 0, p99_us = 0;
+  std::size_t met = 0;      ///< requests whose latency beat the SLO
+  std::size_t total = 0;
+  double goodput_rps = 0;   ///< met / virtual span seconds
+  std::uint64_t batches = 0, coalesced = 0;
+};
+
+/// The irregular sub-wide mix the replay serves: FEM-style skinny-tall
+/// smalls across four shape classes, so coalescing has classes to key on.
+std::vector<GemmInput> replay_mix() {
+  return {GemmInput::shape_only(512, 16, 32),
+          GemmInput::shape_only(512, 16, 128),
+          GemmInput::shape_only(1024, 32, 64),
+          GemmInput::shape_only(256, 64, 64)};
+}
+
+/// Poisson arrival sequence at `rps` offered (virtual) requests/second;
+/// deterministic in `seed`, shared by the with/without-coalescing runs.
+std::vector<Arrival> make_arrivals(int requests, double rps,
+                                   double cycles_per_s, std::size_t shapes,
+                                   std::uint64_t seed) {
+  Prng rng(seed);
+  std::vector<Arrival> arr;
+  arr.reserve(static_cast<std::size_t>(requests));
+  double t = 0;
+  for (int i = 0; i < requests; ++i) {
+    // Exponential inter-arrival with mean 1/rps (in virtual seconds).
+    t += -std::log(1.0 - rng.next_double()) / rps;
+    arr.push_back({static_cast<std::uint64_t>(t * cycles_per_s),
+                   rng.next_below(shapes)});
+  }
+  return arr;
+}
+
+/// Replays one arrival sequence through a fresh runtime and accounts
+/// simulated latency and goodput against `slo_cycles`.
+ReplayPoint run_replay(const std::vector<Arrival>& arrivals,
+                       const std::vector<GemmInput>& shapes,
+                       std::uint64_t slo_cycles, double rps,
+                       bool coalesce) {
+  RuntimeOptions ro;
+  ro.clusters = 4;
+  ro.gemm.functional = false;
+  ro.split_wide = false;
+  if (coalesce) {
+    ro.batching.enabled = true;
+    ro.batching.max_batch = 8;
+    ro.batching.max_delay_ms = 0.25;
+  }
+  GemmRuntime rt(ro);
+  const double cycles_per_s = rt.machine().freq_ghz * 1e9;
+  std::vector<std::future<core::GemmResult>> futs;
+  futs.reserve(arrivals.size());
+  for (const Arrival& a : arrivals) {
+    runtime::QosOptions qos;
+    qos.arrival_cycle = a.cycle;
+    futs.push_back(rt.submit(shapes[a.shape], ro.gemm, qos));
+  }
+  rt.flush_batches();
+  for (auto& f : futs) f.get();
+
+  ReplayPoint p;
+  p.offered_rps = rps;
+  std::vector<double> lat_us;
+  for (const runtime::RequestStats& r : rt.request_log()) {
+    if (r.failed || r.finish_cycle == 0) continue;
+    const std::uint64_t lat = r.finish_cycle - r.arrival_cycle;
+    lat_us.push_back(static_cast<double>(lat) / (cycles_per_s / 1e6));
+    if (lat <= slo_cycles) ++p.met;
+    ++p.total;
+  }
+  p.p50_us = percentile(lat_us, 50);
+  p.p95_us = percentile(lat_us, 95);
+  p.p99_us = percentile(lat_us, 99);
+  const std::uint64_t span_cycles =
+      std::max(arrivals.back().cycle, rt.makespan_cycles());
+  const double span_s = static_cast<double>(span_cycles) / cycles_per_s;
+  p.goodput_rps = span_s > 0 ? static_cast<double>(p.met) / span_s : 0;
+  const runtime::RuntimeStats s = rt.stats();
+  p.batches = s.batches;
+  p.coalesced = s.coalesced;
+  return p;
+}
+
+int run_replay_sweep(const Cli& cli) {
+  const bool smoke = cli.has("smoke");
+  const int requests =
+      static_cast<int>(cli.get_int("requests", smoke ? 150 : 1200));
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(cli.get_int("seed", 42));
+  const std::vector<GemmInput> shapes = replay_mix();
+
+  // Calibrate: isolated whole-cluster execution cycles per shape. The
+  // simulator is bit-reproducible, so this anchors the SLO and the rate
+  // sweep to the mix itself rather than to magic constants.
+  std::uint64_t max_iso = 0;
+  double mean_iso = 0;
+  double cycles_per_s = 0;
+  {
+    RuntimeOptions ro;
+    ro.clusters = 1;
+    ro.gemm.functional = false;
+    ro.split_wide = false;
+    GemmRuntime rt(ro);
+    cycles_per_s = rt.machine().freq_ghz * 1e9;
+    for (const GemmInput& in : shapes) {
+      const std::uint64_t c = rt.submit(in).get().cycles;
+      max_iso = std::max(max_iso, c);
+      mean_iso += static_cast<double>(c) / static_cast<double>(shapes.size());
+    }
+  }
+  // SLO: generous multiple of the slowest isolated run, so queueing (not
+  // the execution itself) is what blows it. Capacity estimate for the
+  // sweep grid: 4 clusters of serial whole-cluster runs.
+  const std::uint64_t slo_cycles = 25 * max_iso;
+  const double capacity_rps = 4.0 * cycles_per_s / mean_iso;
+  std::vector<double> fractions = smoke
+      ? std::vector<double>{0.6, 1.5}
+      : std::vector<double>{0.3, 0.6, 0.9, 1.2, 1.5, 2.0, 2.5};
+  std::printf("replay: %d requests/point, SLO %.1f us, "
+              "est. uncoalesced capacity %.0f rps\n",
+              requests, static_cast<double>(slo_cycles) / (cycles_per_s / 1e6),
+              capacity_rps);
+
+  Table t({"offered rps", "mode", "p50 us", "p95 us", "p99 us", "met",
+           "goodput rps", "batches", "coalesced"});
+  double knee_off = 0, knee_on = 0;
+  bool ok = true;
+  for (const double frac : fractions) {
+    const double rps = frac * capacity_rps;
+    const std::vector<Arrival> arr =
+        make_arrivals(requests, rps, cycles_per_s, shapes.size(), seed);
+    for (const bool coalesce : {false, true}) {
+      const ReplayPoint p = run_replay(arr, shapes, slo_cycles, rps, coalesce);
+      t.begin_row()
+          .cell(p.offered_rps, 0)
+          .cell(coalesce ? "coalesced" : "baseline")
+          .cell(p.p50_us, 1)
+          .cell(p.p95_us, 1)
+          .cell(p.p99_us, 1)
+          .cell(p.met)
+          .cell(p.goodput_rps, 0)
+          .cell(static_cast<std::size_t>(p.batches))
+          .cell(static_cast<std::size_t>(p.coalesced));
+      if (coalesce) {
+        knee_on = std::max(knee_on, p.goodput_rps);
+      } else {
+        knee_off = std::max(knee_off, p.goodput_rps);
+      }
+      // Structural invariants (the --smoke contract; cheap to always check).
+      if (p.total != static_cast<std::size_t>(requests)) {
+        std::printf("FAIL: %zu of %d requests accounted\n", p.total, requests);
+        ok = false;
+      }
+      if (p.p99_us + 1e-9 < p.p50_us) {
+        std::printf("FAIL: p99 < p50 at %.0f rps\n", rps);
+        ok = false;
+      }
+      if (coalesce && p.batches == 0) {
+        std::printf("FAIL: coalesced run produced no batches\n");
+        ok = false;
+      }
+    }
+  }
+  t.print("Open-loop arrival replay: latency and goodput vs offered load");
+  t.write_csv("runtime_replay.csv");
+  std::printf("CSV written to runtime_replay.csv\n");
+  const double ratio = knee_off > 0 ? knee_on / knee_off : 0;
+  std::printf("goodput knee: baseline %.0f rps, coalesced %.0f rps "
+              "(%.2fx)\n", knee_off, knee_on, ratio);
+  if (knee_on <= 0) {
+    std::printf("FAIL: coalesced knee is zero\n");
+    ok = false;
+  }
+  if (!smoke && ratio < 1.3) {
+    std::printf("FAIL: coalesced/baseline goodput knee %.2fx < 1.30x\n",
+                ratio);
+    ok = false;
+  }
+
+  const std::string json = cli.get("json", "");
+  if (!json.empty()) {
+    // Informational entries only: goodput is a throughput (requests/s),
+    // not a cycle count, so bench_compare.py must never gate on it.
+    std::FILE* f = std::fopen(json.c_str(), "w");
+    if (f == nullptr) {
+      std::printf("FAIL: cannot write %s\n", json.c_str());
+      ok = false;
+    } else {
+      std::fprintf(f,
+                   "{\n  \"schema\": 1,\n  \"entries\": [\n"
+                   "    {\"shape\": \"replay:mix4\", \"variant\": "
+                   "\"goodput_knee_baseline\", \"cycles\": %llu, "
+                   "\"informational\": true},\n"
+                   "    {\"shape\": \"replay:mix4\", \"variant\": "
+                   "\"goodput_knee_coalesced\", \"cycles\": %llu, "
+                   "\"informational\": true},\n"
+                   "    {\"shape\": \"replay:mix4\", \"variant\": "
+                   "\"goodput_ratio_x100\", \"cycles\": %llu, "
+                   "\"informational\": true}\n  ]\n}\n",
+                   static_cast<unsigned long long>(knee_off),
+                   static_cast<unsigned long long>(knee_on),
+                   static_cast<unsigned long long>(ratio * 100));
+      std::fclose(f);
+      std::printf("JSON written to %s\n", json.c_str());
+    }
+  }
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
+  if (cli.has("replay")) return run_replay_sweep(cli);
   const std::string trace_path = cli.get("trace", "");
   const double fault_rate = cli.get_double("fault-rate", 0.0);
   trace::TraceSession session;

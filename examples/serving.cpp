@@ -5,18 +5,38 @@
 // the widest ones across idle clusters, and caches plans per shape so
 // repeated shapes skip strategy selection.
 //
-//   ./serving [--requests 32] [--clusters 4] [--seed 7] [--trace out.json]
-//             [--chaos SEED]
+//   ./serving [--requests N]  requests to submit            (default 32)
+//             [--clusters C]  simulated GPDSP clusters      (default 4)
+//             [--seed S]      traffic PRNG seed             (default 7)
+//             [--trace FILE]  Chrome trace-event JSON out
+//             [--chaos S]     fault drill: seeded FaultPlan::chaos(S)
+//                             (S >= 0; also enables the resilience layer)
+//             [--rps R]       open-loop replay: Poisson arrivals at R
+//                             virtual requests/s with shape-class
+//                             coalescing on (docs/serving.md)
+//             [--coalesce B]  with --rps: toggle coalescing (default 1)
+//             [--qos]         QoS demo: priority classes, per-request
+//                             deadlines, bounded-queue admission control
 //
 // With --trace FILE the whole run is recorded through the trace layer
 // (src/trace/) and exported as Chrome trace-event JSON — open it at
 // https://ui.perfetto.dev to see one track per cluster/core/DMA engine
 // plus the host-side request lifecycle. See docs/tracing.md.
 //
-// With --chaos SEED the run doubles as a fault drill: a seeded
+// With --chaos S the run doubles as a fault drill: a seeded
 // FaultPlan::chaos() breaks DMA transfers, stalls one cluster, and kills
 // another, while the runtime's resilience layer (retries, quarantine,
 // CPU fallback — see docs/robustness.md) keeps every request resolving.
+//
+// With --rps R arrivals happen on the *simulated* clock (virtual time):
+// each request carries a QosOptions::arrival_cycle drawn from a Poisson
+// process and the summary reports simulated p50/p95/p99 latency. With
+// --qos the traffic also exercises the serving QoS surface: decode
+// requests run Priority::Latency with a cycle deadline, tiny requests run
+// Bulk, the queue is bounded, and rejected submissions resolve with
+// FaultError(FaultKind::Rejected) — counted, never hung.
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <future>
 #include <memory>
@@ -29,6 +49,7 @@
 #include "ftm/trace/trace.hpp"
 #include "ftm/util/cli.hpp"
 #include "ftm/util/prng.hpp"
+#include "ftm/util/stats.hpp"
 
 int main(int argc, char** argv) {
   using namespace ftm;
@@ -38,6 +59,8 @@ int main(int argc, char** argv) {
   const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed", 7));
   const std::string trace_path = cli.get("trace", "");
   const int chaos_seed = cli.get_int("chaos", -1);
+  const double rps = cli.get_double("rps", 0.0);
+  const bool qos_mode = cli.has("qos");
 
   trace::TraceSession session;
   if (!trace_path.empty()) {
@@ -67,27 +90,66 @@ int main(int argc, char** argv) {
     }
     std::printf("\n");
   }
+  if (rps > 0) {
+    ro.batching.enabled = cli.get_bool("coalesce", true);
+    ro.batching.max_batch = 8;
+    ro.batching.max_delay_ms = 0.25;
+  }
+  if (qos_mode) {
+    // Bounded queue so backpressure is visible at demo scale: Bulk sheds
+    // first (half this bound), Latency last (1.5x).
+    ro.batching.max_queue =
+        static_cast<std::size_t>(cli.get_int("max-queue", 24));
+  }
   runtime::GemmRuntime rt(ro);
+  const double cycles_per_us = rt.machine().freq_ghz * 1e3;
 
   // Serving traffic: mostly decode-sized skinny GEMMs with a few large
   // prefill bursts mixed in. Shapes repeat, so the plan cache warms up.
+  // With --qos, decode traffic is latency-class with a 2 ms simulated
+  // deadline, tiny traffic is bulk, prefill is normal.
   Prng rng(seed);
   std::vector<std::future<core::GemmResult>> futs;
   futs.reserve(static_cast<std::size_t>(requests));
-  std::printf("serving %d requests on %d cluster(s)\n\n", requests, clusters);
+  std::printf("serving %d requests on %d cluster(s)%s%s\n\n", requests,
+              clusters, rps > 0 ? " [open-loop replay]" : "",
+              qos_mode ? " [qos]" : "");
+  double arrival_s = 0;
   for (int i = 0; i < requests; ++i) {
     const std::uint64_t roll = rng.next_u64() % 8;
     core::GemmInput in =
         roll == 0 ? core::GemmInput::shape_only(32768, 96, 2048)   // prefill
         : roll < 4 ? core::GemmInput::shape_only(4096, 16, 512)    // decode
                    : core::GemmInput::shape_only(512, 16, 128);    // tiny
-    futs.push_back(rt.submit(in));
+    runtime::QosOptions qos;
+    if (rps > 0) {
+      arrival_s += -std::log(1.0 - rng.next_double()) / rps;
+      qos.arrival_cycle =
+          static_cast<std::uint64_t>(arrival_s * cycles_per_us * 1e6);
+    }
+    if (qos_mode) {
+      if (roll == 0) {
+        qos.priority = runtime::Priority::Normal;
+      } else if (roll < 4) {
+        qos.priority = runtime::Priority::Latency;
+        qos.deadline_cycles =
+            static_cast<std::uint64_t>(2000.0 * cycles_per_us);  // 2 ms sim
+      } else {
+        qos.priority = runtime::Priority::Bulk;
+      }
+    }
+    futs.push_back(rt.submit(in, ro.gemm, qos));
   }
-  std::size_t failed = 0;
+  rt.flush_batches();
+  std::size_t failed = 0, rejected = 0;
   for (auto& f : futs) {
     try {
       f.get();
     } catch (const FaultError& e) {
+      if (e.kind() == FaultKind::Rejected) {
+        ++rejected;  // admission control shed it; C was never touched
+        continue;
+      }
       ++failed;  // typed failure — the chaos drill's tolerated outcome
       std::printf("request failed: %s (%s, cluster %d)\n", e.what(),
                   to_string(e.kind()), e.cluster());
@@ -111,14 +173,20 @@ int main(int argc, char** argv) {
 
   for (const runtime::RequestStats& r : rt.request_log()) {
     std::printf(
-        "req %3llu  cluster %d  %-9s  wait %7.3f ms  exec %7.3f ms  "
-        "%10llu cycles  %s%s%s\n",
+        "req %3llu  cluster %d  %-9s  %-7s  wait %7.3f ms  exec %7.3f ms  "
+        "%10llu cycles  %s%s%s%s\n",
         static_cast<unsigned long long>(r.id), r.cluster,
-        core::to_string(r.strategy), r.queue_wait_ms, r.exec_ms,
+        core::to_string(r.strategy), runtime::to_string(r.priority),
+        r.queue_wait_ms, r.exec_ms,
         static_cast<unsigned long long>(r.sim_cycles),
         r.plan_cache_hit ? "[plan hit]" : "[plan miss]",
-        r.stolen ? " [stolen]" : "",
-        r.shards > 1 ? " [split]" : "");
+        r.stolen ? " [stolen]" : "", r.shards > 1 ? " [split]" : "",
+        r.batched ? " [batched]" : "");
+    if (r.batched) {
+      std::printf("        ^ batch %llu (%d member%s)\n",
+                  static_cast<unsigned long long>(r.batch_id), r.batch_size,
+                  r.batch_size == 1 ? "" : "s");
+    }
     if (r.attempt > 0 || r.fault || r.cpu_fallback || r.deadline_missed) {
       std::printf("        ^ attempt %d%s%s%s\n", r.attempt,
                   r.fault ? " [fault]" : "",
@@ -140,6 +208,28 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(s.steals),
       static_cast<unsigned long long>(s.splits),
       static_cast<unsigned long long>(rt.makespan_cycles()));
+  if (s.batches > 0 || s.rejected > 0 || qos_mode) {
+    std::printf(
+        "serving: %llu batches (%llu coalesced members), %llu rejected, "
+        "%llu shared-panel bytes saved\n",
+        static_cast<unsigned long long>(s.batches),
+        static_cast<unsigned long long>(s.coalesced),
+        static_cast<unsigned long long>(s.rejected),
+        static_cast<unsigned long long>(s.batch_ddr_saved_bytes));
+  }
+  if (rps > 0) {
+    std::vector<double> lat_us;
+    for (const runtime::RequestStats& r : rt.request_log()) {
+      if (r.failed || r.finish_cycle == 0) continue;
+      lat_us.push_back(
+          static_cast<double>(r.finish_cycle - r.arrival_cycle) /
+          cycles_per_us);
+    }
+    std::printf("simulated latency: p50 %.1f us, p95 %.1f us, p99 %.1f us "
+                "(%zu measured)\n",
+                percentile(lat_us, 50), percentile(lat_us, 95),
+                percentile(lat_us, 99), lat_us.size());
+  }
   if (injector) {
     std::printf(
         "chaos: %llu faults injected, %llu retries, %llu cpu fallbacks, "

@@ -30,8 +30,8 @@
 namespace ftm {
 
 /// What kind of failure a FaultError reports. The first four are injected
-/// by the simulator; the last two are raised by the runtime's resilience
-/// layer itself (deadline enforcement and shutdown).
+/// by the simulator; the last three are raised by the runtime itself
+/// (deadline enforcement, shutdown, and admission control).
 enum class FaultKind {
   DmaError,          ///< a DMA transfer failed outright
   DmaTimeout,        ///< a DMA transfer stalled (charged a latency penalty)
@@ -40,6 +40,7 @@ enum class FaultKind {
   ClusterDead,       ///< whole-cluster hard failure
   DeadlineExceeded,  ///< runtime: request blew its deadline
   Cancelled,         ///< runtime: shut down before the request could finish
+  Rejected,          ///< runtime: admission control refused the submission
 };
 
 const char* to_string(FaultKind k);
@@ -144,7 +145,7 @@ class FaultInjector {
 
   FaultPlan plan_;
   std::vector<std::unique_ptr<ClusterState>> clusters_;
-  static constexpr int kKinds = 7;
+  static constexpr int kKinds = 8;
   std::atomic<std::uint64_t> counts_[kKinds] = {};
 };
 

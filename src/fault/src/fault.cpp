@@ -16,6 +16,7 @@ const char* to_string(FaultKind k) {
     case FaultKind::ClusterDead: return "cluster-dead";
     case FaultKind::DeadlineExceeded: return "deadline-exceeded";
     case FaultKind::Cancelled: return "cancelled";
+    case FaultKind::Rejected: return "rejected";
   }
   return "?";
 }

@@ -5,7 +5,10 @@
 // irrelevant) and implements work stealing in pop(): a worker whose own
 // deque is empty takes the *newest* request of the most-loaded other
 // cluster — newest because older entries are about to be reached by their
-// own worker anyway. Load is tracked in flops and includes the request a
+// own worker anyway. Batch members are never stolen: a flushed batch's
+// cycle model (lane packing, shared-operand reuse) assumes co-location on
+// one cluster, so a victim whose newest entry is a batch member is
+// skipped. Load is tracked in flops and includes the request a
 // worker is currently executing, so submit-side binding and idle-cluster
 // detection see in-flight work, not just queued work.
 //
@@ -26,6 +29,11 @@
 #include <vector>
 
 #include "ftm/core/types.hpp"
+#include "ftm/runtime/qos.hpp"
+
+namespace ftm::core {
+struct GemmPlan;
+}
 
 namespace ftm::runtime {
 
@@ -59,6 +67,26 @@ struct Request {
   std::promise<core::GemmResult> promise;     ///< unused when group is set
   std::shared_ptr<SplitGroup> group;          ///< non-null for shards
   std::chrono::steady_clock::time_point submit_time;
+  // QoS / coalescing (ISSUE 7, docs/serving.md). A request is a split
+  // shard (group) or a batch member (batch) or neither, never both: only
+  // sub-wide problems coalesce and only wide ones split.
+  Priority priority = Priority::Normal;
+  /// Virtual arrival on the lane clocks; execution starts no earlier.
+  std::uint64_t arrival_cycle = 0;
+  /// Shape class stamped at submit time (from the *caller's* opt.cores,
+  /// before any batch repacking) — the coalescing and EWMA key.
+  tune::ShapeClass cls;
+  /// Non-null for members of a flushed batch. Purely shared bookkeeping:
+  /// each member still resolves its own promise and retries alone.
+  std::shared_ptr<BatchGroup> batch;
+  /// Plan computed once at batch-flush time and shared by every same-shape
+  /// member ("one plan lookup"); run_on_cluster uses it and skips the
+  /// per-dispatch cache probe.
+  std::shared_ptr<const core::GemmPlan> preplanned;
+  /// DDR bytes this member's dispatch saves because an earlier batch-mate
+  /// already staged the same A/B panel on the target cluster. Cleared on
+  /// retry (a re-dispatch lands on a different cluster).
+  std::uint64_t reuse_panel_bytes = 0;
   // Resilience bookkeeping (ISSUE 3).
   int attempts = 0;          ///< dispatches so far (1 = first execution)
   std::vector<int> tried;    ///< clusters that faulted on this request
@@ -77,8 +105,9 @@ class RequestQueue {
 
   explicit RequestQueue(int clusters);
 
-  /// Enqueues onto `cluster`'s deque and wakes one worker.
-  void push(int cluster, std::unique_ptr<Request> r);
+  /// Enqueues onto `cluster`'s deque and wakes one worker. `front` jumps
+  /// the FIFO (Priority::Latency submissions).
+  void push(int cluster, std::unique_ptr<Request> r, bool front = false);
 
   /// Like push, but returns false (leaving `r` untouched) when the queue
   /// has been shut down — used by the retry path, which races shutdown.

@@ -3,7 +3,7 @@
 // Models a full FT-m7032: four GPDSP clusters (default) fed from a host
 // that submits irregular GEMMs concurrently. Each cluster is one
 // FtimmEngine (own simulated Cluster, shared thread-safe KernelCache)
-// driven by one std::thread. Three layers ride on top of the single-call
+// driven by one std::thread. Four layers ride on top of the single-call
 // engine API:
 //
 //  * an async request queue: submit() returns a std::future<GemmResult>,
@@ -12,7 +12,18 @@
 //    block adjustment (plan_cache.hpp);
 //  * wide-problem splitting: a submission above wide_problem_flops is
 //    sharded row-wise across currently idle clusters and its future
-//    resolves with the merged result.
+//    resolves with the merged result;
+//  * shape-class coalescing + admission control (ISSUE 7, docs/serving.md):
+//    with BatchOptions::enabled, Normal/Bulk sub-wide requests are held
+//    briefly in a Batcher keyed by tune::ShapeClass and flushed (on
+//    size/age/pressure) as one batched dispatch — one plan lookup per
+//    distinct shape, shared-operand DMA panel reuse, members packed one
+//    core each across W lanes of one cluster (the sgemm_batched model).
+//    QosOptions adds priority classes and per-request cycle deadlines
+//    that feed admission control; with BatchOptions::max_queue bounded,
+//    submit() resolves over-bound submissions with a typed
+//    FaultError(FaultKind::Rejected) instead of queuing without limit
+//    (try_submit() reports the RejectReason without the exception).
 //
 // Resilience (ISSUE 3, docs/robustness.md): with ResilienceOptions
 // enabled, a dispatch that ends in an ftm::FaultError is retried with
@@ -36,15 +47,19 @@
 // sgemm_batched is now implemented that way).
 #pragma once
 
+#include <condition_variable>
 #include <exception>
 #include <future>
+#include <map>
 #include <memory>
+#include <optional>
 #include <span>
 #include <thread>
 #include <vector>
 
 #include "ftm/core/ftimm.hpp"
 #include "ftm/fault/fault.hpp"
+#include "ftm/runtime/batcher.hpp"
 #include "ftm/runtime/plan_cache.hpp"
 #include "ftm/runtime/request.hpp"
 #include "ftm/runtime/stats.hpp"
@@ -90,6 +105,7 @@ struct RuntimeOptions {
   std::size_t split_min_rows = 512;  ///< min M rows per shard
   bool keep_request_log = true;    ///< record per-request RequestStats
   ResilienceOptions resilience;    ///< self-healing layer (ISSUE 3)
+  BatchOptions batching;           ///< coalescing + admission (ISSUE 7)
   /// Optional fault injector, installed into every cluster's simulator
   /// (non-owning; must outlive the runtime). nullptr = no injection.
   fault::FaultInjector* fault_injector = nullptr;
@@ -115,6 +131,16 @@ struct BatchResult {
   std::size_t wide_problems = 0;   ///< full-cluster, serial per cluster
   std::size_t small_problems = 0;  ///< one core each, lane-parallel
   std::vector<std::uint64_t> cluster_cycles;  ///< per-cluster makespan
+};
+
+/// Outcome of try_submit(): the future (engaged iff accepted) or the
+/// typed reason admission control refused the request. Rejected
+/// submissions never execute, never touch C, and are counted in
+/// RuntimeStats::rejected rather than submitted.
+struct SubmitResult {
+  std::optional<std::future<core::GemmResult>> future;
+  RejectReason reject = RejectReason::None;
+  bool accepted() const { return reject == RejectReason::None; }
 };
 
 class GemmRuntime {
@@ -145,6 +171,26 @@ class GemmRuntime {
   std::future<core::GemmResult> submit(const core::GemmInput& in);
   std::future<core::GemmResult> submit(const core::GemmInput& in,
                                        const core::FtimmOptions& opt);
+
+  /// submit() with a QoS contract (priority class, virtual arrival, cycle
+  /// deadline — see qos.hpp). A submission refused by admission control
+  /// resolves its future with FaultError(FaultKind::Rejected).
+  std::future<core::GemmResult> submit(const core::GemmInput& in,
+                                       const core::FtimmOptions& opt,
+                                       const QosOptions& qos);
+
+  /// Non-throwing admission path: returns the future, or the typed
+  /// RejectReason with no future and no side effects on C. Input-shape
+  /// violations still throw ContractViolation (caller bugs, not load).
+  SubmitResult try_submit(const core::GemmInput& in);
+  SubmitResult try_submit(const core::GemmInput& in,
+                          const core::FtimmOptions& opt,
+                          const QosOptions& qos = {});
+
+  /// Dispatches every batch the Batcher is still holding, regardless of
+  /// triggers. wait_idle() and the destructor call this; tests and
+  /// replay drivers use it to end a virtual-time epoch deterministically.
+  void flush_batches();
 
   /// Blocking batch mode: schedules every problem (wide ones occupy whole
   /// clusters, small ones pack one core each, exactly the sgemm_batched
@@ -198,6 +244,21 @@ class GemmRuntime {
 
   void init_host_pool();
   void start_workers();
+  void start_flusher();
+  void stop_flusher();
+  void flusher_loop();
+  /// The batched dispatch (ISSUE 7): assigns one target cluster, computes
+  /// the packing width W, pre-plans once per distinct shape, accounts
+  /// shared A/B panels, and enqueues every member.
+  void dispatch_batch(Batcher::Flush flush);
+  /// Admission control: RejectReason::None, or why this submission must
+  /// be refused under the current queue depth / predicted latency.
+  RejectReason admit(const core::GemmInput& in,
+                     const core::FtimmOptions& opt, const QosOptions& qos);
+  /// Predicted simulated latency for admission: lane-frontier backlog
+  /// beyond the arrival plus the shape class's EWMA execution cycles.
+  std::uint64_t predict_latency_cycles(const QosOptions& qos,
+                                       const tune::ShapeClass& cls) const;
   void worker_loop(int cluster);
   /// One dispatch: executes, then delivers / retries / falls back / fails.
   void process(int cluster, std::unique_ptr<Request> req, bool stolen);
@@ -219,10 +280,13 @@ class GemmRuntime {
   void snapshot_c(Request& req) const;
   void restore_c(Request& req) const;
   void log_request(const RequestStats& rs);
-  void charge_lanes(ClusterState& cs, const Request& req,
-                    std::uint64_t cycles);
+  /// Charges the makespan onto the cluster's lane clocks, starting no
+  /// earlier than the request's virtual arrival; returns the finish cycle.
+  std::uint64_t charge_lanes(ClusterState& cs, const Request& req,
+                             std::uint64_t cycles);
   std::future<core::GemmResult> submit_split(const core::GemmInput& in,
                                              const core::FtimmOptions& opt,
+                                             const QosOptions& qos,
                                              const std::vector<int>& targets);
   std::unique_ptr<Request> make_request(const core::GemmInput& in,
                                         const core::FtimmOptions& opt);
@@ -238,6 +302,14 @@ class GemmRuntime {
   PlanCache plans_;
   std::vector<std::thread> workers_;
 
+  /// Coalescing layer (only constructed when ro_.batching.enabled); the
+  /// flusher thread fires the age trigger every ~max_delay_ms / 2.
+  std::unique_ptr<Batcher> batcher_;
+  std::thread flusher_;
+  mutable std::mutex flusher_mu_;
+  std::condition_variable flusher_cv_;
+  bool flusher_stop_ = false;
+
   mutable std::mutex stats_mu_;  ///< guards lanes, counters, health, log
   std::uint64_t next_id_ = 0;
   std::uint64_t submitted_ = 0;
@@ -252,6 +324,13 @@ class GemmRuntime {
   std::uint64_t deadline_misses_ = 0;
   std::uint64_t rerouted_ = 0;
   std::uint64_t tuned_plans_ = 0;
+  std::uint64_t batches_ = 0;
+  std::uint64_t coalesced_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t batch_ddr_saved_ = 0;
+  /// EWMA of successful execution cycles per shape class — the execution
+  /// estimate of deadline admission (predict_latency_cycles).
+  std::map<tune::ShapeClass, double> class_cycles_;
   std::vector<RequestStats> log_;
 };
 

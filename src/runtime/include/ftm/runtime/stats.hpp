@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "ftm/core/types.hpp"
+#include "ftm/runtime/qos.hpp"
 
 namespace ftm::runtime {
 
@@ -32,6 +33,15 @@ struct RequestStats {
   double host_wall_us = 0;
   std::uint64_t sim_cycles = 0;  ///< simulated cluster cycles
   core::Strategy strategy = core::Strategy::Auto;
+  // QoS / coalescing (ISSUE 7). finish_cycle - arrival_cycle is the
+  // request's simulated latency; the replay benchmark computes goodput
+  // from it against the deadline the caller assigned.
+  Priority priority = Priority::Normal;
+  std::uint64_t arrival_cycle = 0;  ///< virtual arrival (QosOptions)
+  std::uint64_t finish_cycle = 0;   ///< lane clock when the dispatch ended
+  bool batched = false;             ///< dispatched as a batch member
+  std::uint64_t batch_id = 0;       ///< flush order, 1-based; 0 = none
+  int batch_size = 0;               ///< members in its batch at flush
 };
 
 /// Aggregate counters; a consistent snapshot taken under the stats lock.
@@ -53,6 +63,12 @@ struct RuntimeStats {
   std::uint64_t fallbacks = 0;        ///< requests resolved on the host CPU
   std::uint64_t deadline_misses = 0;  ///< wall or simulated deadline blown
   std::uint64_t rerouted = 0;         ///< drained off a quarantined cluster
+  // Coalescing + admission counters (ISSUE 7). `rejected` submissions are
+  // not counted in `submitted`: they never entered the queue.
+  std::uint64_t batches = 0;    ///< batch flushes dispatched (any size)
+  std::uint64_t coalesced = 0;  ///< requests dispatched in a batch of >= 2
+  std::uint64_t rejected = 0;   ///< submissions refused by admission control
+  std::uint64_t batch_ddr_saved_bytes = 0;  ///< shared-operand DMA reuse
   std::vector<std::uint64_t> cluster_requests;     ///< dispatches per cluster
   std::vector<std::uint64_t> cluster_busy_cycles;  ///< max lane clock per cluster
   // Per-cluster health (circuit breaker) state.

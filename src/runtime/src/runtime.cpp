@@ -5,6 +5,8 @@
 #include <cmath>
 #include <cstring>
 #include <numeric>
+#include <set>
+#include <tuple>
 
 #include "ftm/cpu/cpu_gemm.hpp"
 #include "ftm/trace/trace.hpp"
@@ -22,14 +24,19 @@ RequestQueue::RequestQueue(int clusters)
   FTM_EXPECTS(clusters >= 1);
 }
 
-void RequestQueue::push(int cluster, std::unique_ptr<Request> r) {
+void RequestQueue::push(int cluster, std::unique_ptr<Request> r,
+                        bool front) {
   {
     const std::lock_guard<std::mutex> lock(mu_);
     FTM_EXPECTS(!stop_);
     FTM_EXPECTS(cluster >= 0 &&
                 cluster < static_cast<int>(qs_.size()));
     load_flops_[cluster] += r->in.flops();
-    qs_[cluster].push_back(std::move(r));
+    if (front) {
+      qs_[cluster].push_front(std::move(r));
+    } else {
+      qs_[cluster].push_back(std::move(r));
+    }
   }
   cv_work_.notify_all();
 }
@@ -63,6 +70,9 @@ std::unique_ptr<Request> RequestQueue::take_locked(int cluster,
     int victim = -1;
     for (int c = 0; c < static_cast<int>(qs_.size()); ++c) {
       if (c == cluster || qs_[c].empty() || disabled_[c] != 0) continue;
+      // Batch members are never stolen: the batch's cycle model (lane
+      // packing, shared-operand reuse) assumes co-location on one cluster.
+      if (qs_[c].back()->batch != nullptr) continue;
       if (victim < 0 || load_flops_[c] > load_flops_[victim]) victim = c;
     }
     if (victim >= 0) {
@@ -230,6 +240,28 @@ void validate_resilience(const ResilienceOptions& rz) {
   FTM_EXPECTS(rz.probe_interval_ms > 0);
 }
 
+/// Batch-lifecycle bookkeeping: the last member of a batch to resolve
+/// (with a value or an exception — members are independent failure
+/// domains) closes the batch's trace span.
+void note_batch_member_done(const Request& req) {
+  if (!req.batch) return;
+  if (req.batch->remaining.fetch_sub(1, std::memory_order_acq_rel) != 1) {
+    return;
+  }
+#if FTM_TRACE_ENABLED
+  if (trace::TraceSession* ts = trace::TraceSession::current()) {
+    trace::Event e;
+    e.name = "batch_done";
+    e.cat = "batch";
+    e.ts = ts->host_now_us();
+    e.track = trace::TrackKind::Runtime;
+    e.arg("id", req.batch->id);
+    e.arg("size", static_cast<std::uint64_t>(req.batch->size));
+    ts->record(e);
+  }
+#endif
+}
+
 #if FTM_TRACE_ENABLED
 void trace_instant(const char* name, int cluster) {
   if (trace::TraceSession* ts = trace::TraceSession::current()) {
@@ -266,6 +298,7 @@ GemmRuntime::GemmRuntime(const RuntimeOptions& ro,
   }
   init_host_pool();
   start_workers();
+  start_flusher();
 }
 
 GemmRuntime::GemmRuntime(const std::vector<core::FtimmEngine*>& engines,
@@ -288,6 +321,7 @@ GemmRuntime::GemmRuntime(const std::vector<core::FtimmEngine*>& engines,
   }
   init_host_pool();
   start_workers();
+  start_flusher();
 }
 
 void GemmRuntime::init_host_pool() {
@@ -300,10 +334,50 @@ void GemmRuntime::init_host_pool() {
 }
 
 GemmRuntime::~GemmRuntime() {
+  stop_flusher();     // no age trigger can race the final drain
+  flush_batches();    // held members enter the queue before shutdown
   queue_.shutdown();  // workers drain whatever is still queued, then exit
   for (auto& w : workers_) {
     if (w.joinable()) w.join();
   }
+}
+
+void GemmRuntime::start_flusher() {
+  if (!ro_.batching.enabled) return;
+  batcher_ = std::make_unique<Batcher>(ro_.batching);
+  flusher_ = std::thread([this] { flusher_loop(); });
+}
+
+void GemmRuntime::stop_flusher() {
+  if (!flusher_.joinable()) return;
+  {
+    const std::lock_guard<std::mutex> lock(flusher_mu_);
+    flusher_stop_ = true;
+  }
+  flusher_cv_.notify_all();
+  flusher_.join();
+}
+
+void GemmRuntime::flusher_loop() {
+  // Tick at half the age budget so a class waits at most ~1.5x
+  // max_delay_ms; floor keeps a zero/near-zero budget from busy-spinning.
+  const auto tick = std::chrono::duration<double, std::milli>(
+      std::max(0.05, ro_.batching.max_delay_ms / 2));
+  std::unique_lock<std::mutex> lock(flusher_mu_);
+  for (;;) {
+    flusher_cv_.wait_for(lock, tick);
+    if (flusher_stop_) return;
+    lock.unlock();
+    for (auto& f : batcher_->take_aged(std::chrono::steady_clock::now())) {
+      dispatch_batch(std::move(f));
+    }
+    lock.lock();
+  }
+}
+
+void GemmRuntime::flush_batches() {
+  if (!batcher_) return;
+  for (auto& f : batcher_->take_all()) dispatch_batch(std::move(f));
 }
 
 void GemmRuntime::start_workers() {
@@ -376,6 +450,30 @@ std::future<core::GemmResult> GemmRuntime::submit(const core::GemmInput& in) {
 
 std::future<core::GemmResult> GemmRuntime::submit(
     const core::GemmInput& in, const core::FtimmOptions& opt) {
+  return submit(in, opt, QosOptions{});
+}
+
+std::future<core::GemmResult> GemmRuntime::submit(
+    const core::GemmInput& in, const core::FtimmOptions& opt,
+    const QosOptions& qos) {
+  SubmitResult sr = try_submit(in, opt, qos);
+  if (sr.accepted()) return std::move(*sr.future);
+  // Admission refused: the caller still gets a future, resolved with the
+  // typed rejection (every submission resolves — accepted or not).
+  std::promise<core::GemmResult> p;
+  p.set_exception(std::make_exception_ptr(FaultError(
+      FaultKind::Rejected, -1, -1,
+      std::string("admission rejected: ") + to_string(sr.reject))));
+  return p.get_future();
+}
+
+SubmitResult GemmRuntime::try_submit(const core::GemmInput& in) {
+  return try_submit(in, ro_.gemm);
+}
+
+SubmitResult GemmRuntime::try_submit(const core::GemmInput& in,
+                                     const core::FtimmOptions& opt,
+                                     const QosOptions& qos) {
   validate(opt);
   FTM_EXPECTS(in.m >= 1 && in.n >= 1 && in.k >= 1);
   // Malformed inputs are a caller bug: reject them here, synchronously,
@@ -390,6 +488,18 @@ std::future<core::GemmResult> GemmRuntime::submit(
     FTM_EXPECTS(in.b.rows() == in.k && in.b.cols() == in.n);
     FTM_EXPECTS(in.c.rows() == in.m && in.c.cols() == in.n);
   }
+  const RejectReason why = admit(in, opt, qos);
+  if (why != RejectReason::None) {
+    {
+      const std::lock_guard<std::mutex> lock(stats_mu_);
+      ++rejected_;
+    }
+    FTM_TRACE_COUNTER("runtime.rejected", 1);
+    SubmitResult sr;
+    sr.reject = why;
+    return sr;
+  }
+  SubmitResult sr;
   if (ro_.split_wide && clusters() > 1 &&
       in.flops() >= opt.wide_problem_flops &&
       in.m >= 2 * ro_.split_min_rows) {
@@ -397,24 +507,92 @@ std::future<core::GemmResult> GemmRuntime::submit(
     const std::size_t max_shards =
         ro_.split_min_rows > 0 ? in.m / ro_.split_min_rows : in.m;
     if (idle.size() > max_shards) idle.resize(max_shards);
-    if (idle.size() >= 2) return submit_split(in, opt, idle);
+    if (idle.size() >= 2) {
+      sr.future = submit_split(in, opt, qos, idle);
+      return sr;
+    }
   }
   auto r = make_request(in, opt);
-  auto fut = r->promise.get_future();
-  r->bound_cluster = queue_.least_loaded();
+  r->priority = qos.priority;
+  r->arrival_cycle = qos.arrival_cycle;
+  r->cls = tune::ShapeClass::of(in.m, in.n, in.k, opt.cores);
+  sr.future = r->promise.get_future();
   {
     const std::lock_guard<std::mutex> lock(stats_mu_);
     ++submitted_;
   }
   FTM_TRACE_COUNTER("runtime.submitted", 1);
+  // Only Normal/Bulk sub-wide requests coalesce; Latency requests bypass
+  // the buffer entirely and jump their cluster's FIFO.
+  if (batcher_ != nullptr && qos.priority != Priority::Latency &&
+      in.flops() < opt.wide_problem_flops) {
+    if (auto flush = batcher_->add(std::move(r))) {
+      dispatch_batch(std::move(*flush));
+    }
+    return sr;
+  }
+  r->bound_cluster = queue_.least_loaded();
   const int target = r->bound_cluster;
-  queue_.push(target, std::move(r));
-  return fut;
+  queue_.push(target, std::move(r), qos.priority == Priority::Latency);
+  return sr;
+}
+
+RejectReason GemmRuntime::admit(const core::GemmInput& in,
+                                const core::FtimmOptions& opt,
+                                const QosOptions& qos) {
+  if (queue_.stopped()) return RejectReason::Shutdown;
+  const BatchOptions& bo = ro_.batching;
+  if (bo.max_queue > 0) {
+    const std::size_t depth =
+        queue_.pending() + (batcher_ ? batcher_->held() : 0);
+    std::size_t bound = bo.max_queue;
+    if (qos.priority == Priority::Bulk) {
+      bound = std::max<std::size_t>(1, bo.max_queue / 2);
+    } else if (qos.priority == Priority::Latency) {
+      bound = bo.max_queue + bo.max_queue / 2;
+    }
+    if (depth >= bound) return RejectReason::QueueFull;
+  }
+  if (qos.deadline_cycles > 0) {
+    const tune::ShapeClass cls =
+        tune::ShapeClass::of(in.m, in.n, in.k, opt.cores);
+    if (predict_latency_cycles(qos, cls) > qos.deadline_cycles) {
+      return RejectReason::DeadlineUnmeetable;
+    }
+  }
+  return RejectReason::None;
+}
+
+std::uint64_t GemmRuntime::predict_latency_cycles(
+    const QosOptions& qos, const tune::ShapeClass& cls) const {
+  const std::lock_guard<std::mutex> lock(stats_mu_);
+  // Backlog estimate: the least-loaded enabled cluster's lane frontier.
+  // An arrival after the frontier waits for nothing; before it, the
+  // request queues behind (frontier - arrival) cycles of committed work.
+  std::uint64_t frontier = 0;
+  bool first = true;
+  for (std::size_t c = 0; c < clusters_.size(); ++c) {
+    if (clusters_[c].health.quarantined) continue;
+    std::uint64_t mk = 0;
+    for (const std::uint64_t t : clusters_[c].lanes) mk = std::max(mk, t);
+    if (first || mk < frontier) frontier = mk;
+    first = false;
+  }
+  const std::uint64_t backlog =
+      frontier > qos.arrival_cycle ? frontier - qos.arrival_cycle : 0;
+  // Execution estimate: EWMA of this shape class's recent successful
+  // dispatches. An unseen class predicts backlog only (optimistic on
+  // purpose — admission should not shed load it knows nothing about).
+  std::uint64_t exec = 0;
+  if (const auto it = class_cycles_.find(cls); it != class_cycles_.end()) {
+    exec = static_cast<std::uint64_t>(it->second);
+  }
+  return backlog + exec;
 }
 
 std::future<core::GemmResult> GemmRuntime::submit_split(
     const core::GemmInput& in, const core::FtimmOptions& opt,
-    const std::vector<int>& targets) {
+    const QosOptions& qos, const std::vector<int>& targets) {
   const int P = static_cast<int>(targets.size());
   auto group = std::make_shared<SplitGroup>();
   group->remaining = P;
@@ -458,6 +636,9 @@ std::future<core::GemmResult> GemmRuntime::submit_split(
     }
     auto req = make_request(shard, opt);
     req->group = group;
+    req->priority = qos.priority;
+    req->arrival_cycle = qos.arrival_cycle;
+    req->cls = tune::ShapeClass::of(shard.m, shard.n, shard.k, opt.cores);
     const int target = targets[static_cast<std::size_t>(p)];
     req->bound_cluster = target;
     queue_.push(target, std::move(req));
@@ -466,11 +647,98 @@ std::future<core::GemmResult> GemmRuntime::submit_split(
   return fut;
 }
 
+void GemmRuntime::dispatch_batch(Batcher::Flush flush) {
+  const int n = static_cast<int>(flush.members.size());
+  if (n == 0) return;
+  auto group = std::make_shared<BatchGroup>();
+  {
+    const std::lock_guard<std::mutex> lock(stats_mu_);
+    group->id = ++batches_;
+    if (n >= 2) coalesced_ += static_cast<std::uint64_t>(n);
+  }
+  group->size = n;
+  group->cls = flush.cls;
+  group->trigger = flush.trigger;
+  group->remaining.store(n, std::memory_order_relaxed);
+  // Packing width: members run one core each across W shared lanes of one
+  // cluster with DDR bandwidth shared W ways — the sgemm_batched model
+  // run_all() uses for its small phase.
+  const int W = std::min(
+      n, std::min(ro_.batching.max_batch, mc_.cores_per_cluster));
+  group->width = n >= 2 ? W : 0;
+  FTM_TRACE_COUNTER("runtime.batched", 1);
+  const int target = queue_.least_loaded();
+  ClusterState& cs = clusters_[static_cast<std::size_t>(target)];
+
+  // One plan lookup per distinct (post-repack) shape in the batch; every
+  // same-shape member shares the GemmPlan by pointer.
+  std::map<PlanKey, std::shared_ptr<const core::GemmPlan>> planned;
+  // Shared-operand detection: a member whose A (or B) view is the same
+  // buffer and shape as an earlier batch-mate's reuses the staged panel;
+  // its dispatch is charged the panel's DMA bytes once, not twice.
+  using Panel = std::tuple<const float*, std::size_t, std::size_t>;
+  std::set<Panel> staged;  // (base pointer, rows, cols)
+  for (auto& m : flush.members) {
+    m->batch = group;
+    m->bound_cluster = target;
+    if (n >= 2) {
+      // Repack: one core per member, W-way lane/bandwidth sharing. A
+      // singleton flush dispatches exactly as it was submitted.
+      m->opt.cores = 1;
+      m->opt.bandwidth_share = W;
+      m->lane_limit = W;
+      const PlanKey key = PlanKey::of(m->in.m, m->in.n, m->in.k, m->opt);
+      auto it = planned.find(key);
+      if (it == planned.end()) {
+        it = planned
+                 .emplace(key, std::make_shared<const core::GemmPlan>(
+                                   cs.engine->plan(m->in.m, m->in.n,
+                                                   m->in.k, m->opt)))
+                 .first;
+      }
+      m->preplanned = it->second;
+      std::uint64_t reuse = 0;
+      if (m->in.a.data() != nullptr &&
+          !staged.insert({m->in.a.data(), m->in.m, m->in.k}).second) {
+        reuse += static_cast<std::uint64_t>(m->in.m) * m->in.k * 4;
+      }
+      if (m->in.b.data() != nullptr &&
+          !staged.insert({m->in.b.data(), m->in.k, m->in.n}).second) {
+        reuse += static_cast<std::uint64_t>(m->in.k) * m->in.n * 4;
+      }
+      m->reuse_panel_bytes = reuse;
+      group->shared_panel_bytes += reuse;
+    }
+  }
+#if FTM_TRACE_ENABLED
+  if (trace::TraceSession* ts = trace::TraceSession::current()) {
+    trace::Event e;
+    e.name = "batch";
+    e.cat = "batch";
+    e.ts = ts->host_now_us();
+    e.cluster = target;
+    e.track = trace::TrackKind::Runtime;
+    e.arg("id", group->id);
+    e.arg("size", static_cast<std::uint64_t>(n));
+    e.arg("shared_bytes", group->shared_panel_bytes);
+    ts->record(e);
+  }
+#endif
+  for (auto& m : flush.members) {
+    queue_.push(target, std::move(m));
+  }
+}
+
 core::GemmResult GemmRuntime::run_on_cluster(int cluster, Request& req,
                                              RequestStats& rs) {
   ClusterState& cs = clusters_[static_cast<std::size_t>(cluster)];
   core::GemmPlan plan;
-  if (ro_.plan_cache) {
+  if (req.preplanned != nullptr) {
+    // Batched dispatch: the plan was computed once at flush time and is
+    // shared by every same-shape batch-mate — no per-member cache probe.
+    plan = *req.preplanned;
+    rs.plan_cache_hit = true;
+  } else if (ro_.plan_cache) {
     const PlanKey key = PlanKey::of(req.in.m, req.in.n, req.in.k, req.opt);
     if (auto hit = plans_.find(key)) {
       plan = *hit;
@@ -505,6 +773,13 @@ void GemmRuntime::process(int cluster, std::unique_ptr<Request> req,
   rs.shards = req->group ? req->group->shards : 0;
   rs.attempt = req->attempts;
   rs.queue_wait_ms = ms_between(req->submit_time, t_start);
+  rs.priority = req->priority;
+  rs.arrival_cycle = req->arrival_cycle;
+  if (req->batch) {
+    rs.batched = true;
+    rs.batch_id = req->batch->id;
+    rs.batch_size = req->batch->size;
+  }
 
   // Wall-clock deadline: checked before (re-)execution, never retried —
   // the caller's time budget is gone no matter which cluster runs it.
@@ -562,6 +837,18 @@ void GemmRuntime::process(int cluster, std::unique_ptr<Request> req,
     rs.sim_cycles = result.cycles;
     rs.strategy = result.strategy;
     rs.host_wall_us = result.host_wall_us;
+    if (req->reuse_panel_bytes > 0) {
+      // Shared-operand reuse: a batch-mate already staged this A/B panel
+      // on the cluster, so this dispatch is not charged its DMA bytes.
+      const std::uint64_t save =
+          std::min(req->reuse_panel_bytes, result.ddr_bytes);
+      result.ddr_bytes -= save;
+      {
+        const std::lock_guard<std::mutex> lock(stats_mu_);
+        batch_ddr_saved_ += save;
+      }
+      FTM_TRACE_COUNTER("runtime.batch_ddr_saved", save);
+    }
   }
 #if FTM_TRACE_ENABLED
   if (trace::TraceSession* ts = trace::TraceSession::current()) {
@@ -599,7 +886,14 @@ void GemmRuntime::process(int cluster, std::unique_ptr<Request> req,
     ++executed_;
     ++cs.requests;
     if (stolen) ++steals_;
-    if (ok) charge_lanes(cs, *req, result.cycles);
+    if (ok) {
+      rs.finish_cycle = charge_lanes(cs, *req, result.cycles);
+      // Per-shape-class EWMA of successful execution cycles; the deadline
+      // admission's execution estimate (predict_latency_cycles).
+      double& e = class_cycles_[req->cls];
+      e = e == 0 ? static_cast<double>(result.cycles)
+                 : 0.7 * e + 0.3 * static_cast<double>(result.cycles);
+    }
   }
   if (ok) {
     if (res.enabled) record_success(cluster);
@@ -656,6 +950,11 @@ void GemmRuntime::handle_fault(int cluster, std::unique_ptr<Request> req,
             std::chrono::duration<double, std::milli>(delay_ms));
       }
       restore_c(*req);
+      // A retry lands alone (usually on a different cluster): the shared
+      // panel its batch-mate staged is not there, so the DMA discount no
+      // longer applies. The shared plan stays valid — plans are
+      // cluster-independent.
+      req->reuse_panel_bytes = 0;
       req->bound_cluster = target;
       if (queue_.try_push(target, req)) {
         {
@@ -707,6 +1006,7 @@ void GemmRuntime::fail(std::unique_ptr<Request> req, std::exception_ptr err,
   rs.failed = true;
   restore_c(*req);  // a failed request leaves C exactly as submitted
   log_request(rs);  // before the promise wakes the waiter
+  note_batch_member_done(*req);
   if (!req->group) {
     {
       const std::lock_guard<std::mutex> lock(stats_mu_);
@@ -884,8 +1184,9 @@ void GemmRuntime::log_request(const RequestStats& rs) {
   log_.push_back(rs);
 }
 
-void GemmRuntime::charge_lanes(ClusterState& cs, const Request& req,
-                               std::uint64_t cycles) {
+std::uint64_t GemmRuntime::charge_lanes(ClusterState& cs,
+                                        const Request& req,
+                                        std::uint64_t cycles) {
   const int total = static_cast<int>(cs.lanes.size());
   const int limit = std::clamp(
       req.lane_limit > 0 ? req.lane_limit : req.opt.cores, 1, total);
@@ -896,16 +1197,20 @@ void GemmRuntime::charge_lanes(ClusterState& cs, const Request& req,
     return cs.lanes[static_cast<std::size_t>(a)] <
            cs.lanes[static_cast<std::size_t>(b)];
   });
-  std::uint64_t start = 0;
+  // Floored at the virtual arrival: work cannot start before it exists.
+  // arrival_cycle == 0 (the default) keeps the pre-QoS charging exactly.
+  std::uint64_t start = req.arrival_cycle;
   for (int i = 0; i < width; ++i) {
     start = std::max(start, cs.lanes[static_cast<std::size_t>(idx[i])]);
   }
   for (int i = 0; i < width; ++i) {
     cs.lanes[static_cast<std::size_t>(idx[i])] = start + cycles;
   }
+  return start + cycles;
 }
 
 void GemmRuntime::deliver(Request& req, const core::GemmResult& r) {
+  note_batch_member_done(req);
   // completed_ is bumped before the promise is fulfilled so a caller that
   // wakes from future::get() observes a consistent stats() snapshot.
   if (!req.group) {
@@ -1060,7 +1365,10 @@ BatchResult GemmRuntime::run_all(std::span<const core::GemmInput> problems,
   return br;
 }
 
-void GemmRuntime::wait_idle() { queue_.wait_idle(); }
+void GemmRuntime::wait_idle() {
+  flush_batches();  // held members must enter the queue to be waited on
+  queue_.wait_idle();
+}
 
 core::FtimmEngine& GemmRuntime::engine(int cluster) {
   FTM_EXPECTS(cluster >= 0 && cluster < clusters());
@@ -1090,6 +1398,10 @@ RuntimeStats GemmRuntime::stats() const {
   s.fallbacks = fallbacks_;
   s.deadline_misses = deadline_misses_;
   s.rerouted = rerouted_;
+  s.batches = batches_;
+  s.coalesced = coalesced_;
+  s.rejected = rejected_;
+  s.batch_ddr_saved_bytes = batch_ddr_saved_;
   for (const auto& cs : clusters_) {
     s.cluster_requests.push_back(cs.requests);
     std::uint64_t mk = 0;
@@ -1138,9 +1450,10 @@ Table GemmRuntime::report() const {
     }
   }
   Table t({"cluster", "requests", "busy_cycles", "plan_hits", "plan_misses",
-           "tuned", "steals", "splits", "faults", "retries", "fallbacks",
-           "quarantines", "probes", "health", "wait_p50_ms", "wait_p95_ms",
-           "host_p50_us", "host_p95_us"});
+           "tuned", "steals", "splits", "batches", "coalesced", "rejected",
+           "faults", "retries", "fallbacks", "quarantines", "probes",
+           "health", "wait_p50_ms", "wait_p95_ms", "host_p50_us",
+           "host_p95_us"});
   std::uint64_t total_q = 0, total_p = 0;
   for (std::size_t c = 0; c < s.cluster_requests.size(); ++c) {
     total_q += s.cluster_quarantines[c];
@@ -1149,6 +1462,9 @@ Table GemmRuntime::report() const {
         .cell(static_cast<long long>(c))
         .cell(static_cast<std::size_t>(s.cluster_requests[c]))
         .cell(static_cast<std::size_t>(s.cluster_busy_cycles[c]))
+        .cell("")
+        .cell("")
+        .cell("")
         .cell("")
         .cell("")
         .cell("")
@@ -1174,6 +1490,9 @@ Table GemmRuntime::report() const {
       .cell(static_cast<std::size_t>(s.tuned_plans))
       .cell(static_cast<std::size_t>(s.steals))
       .cell(static_cast<std::size_t>(s.splits))
+      .cell(static_cast<std::size_t>(s.batches))
+      .cell(static_cast<std::size_t>(s.coalesced))
+      .cell(static_cast<std::size_t>(s.rejected))
       .cell(static_cast<std::size_t>(s.faults))
       .cell(static_cast<std::size_t>(s.retries))
       .cell(static_cast<std::size_t>(s.fallbacks))

@@ -19,6 +19,12 @@ of the run). Its aggregate drift is printed for visibility but can never
 fail the gate: wall time is machine- and load-dependent, unlike the
 bit-reproducible cycle counts.
 
+An entry marked "informational": true (e.g. the replay goodput figures
+bench_runtime --replay --json emits) is exempt from every rule above: it
+is printed for trend visibility, never compared, and never required to
+be present in CURRENT — the perf-gate matrix and informational metrics
+come from different producers.
+
 Baseline refresh procedure: docs/tuning.md.
 """
 
@@ -34,10 +40,15 @@ def load(path):
         sys.exit(f"{path}: unsupported schema {doc.get('schema')!r}")
     entries = {}
     walls = {}
+    info = {}
     for e in doc["entries"]:
-        entries[(e["shape"], e["variant"])] = int(e["cycles"])
-        walls[(e["shape"], e["variant"])] = int(e.get("wall_us", 0))
-    return entries, walls
+        key = (e["shape"], e["variant"])
+        if e.get("informational"):
+            info[key] = int(e["cycles"])
+            continue
+        entries[key] = int(e["cycles"])
+        walls[key] = int(e.get("wall_us", 0))
+    return entries, walls, info
 
 
 def main():
@@ -48,8 +59,8 @@ def main():
                     help="max allowed cycle growth in percent (default 0.5)")
     args = ap.parse_args()
 
-    base, base_walls = load(args.baseline)
-    cur, cur_walls = load(args.current)
+    base, base_walls, base_info = load(args.baseline)
+    cur, cur_walls, cur_info = load(args.current)
 
     failures = []
     improved = 0
@@ -75,6 +86,18 @@ def main():
     added = sorted(set(cur) - set(base))
     for shape, variant in added:
         print(f"note: new entry {shape}/{variant}")
+
+    # Informational entries (never gated, never required to be present).
+    for key in sorted(set(base_info) | set(cur_info)):
+        shape, variant = key
+        b, c = base_info.get(key), cur_info.get(key)
+        if b is not None and c is not None and b != 0:
+            drift = 100.0 * (c - b) / b
+            print(f"informational: {shape}/{variant}: {b} -> {c} "
+                  f"({drift:+.1f}%)")
+        else:
+            print(f"informational: {shape}/{variant}: "
+                  f"baseline {b}, current {c}")
 
     # Informational wall-clock drift (never gated: host-dependent).
     base_wall = sum(base_walls.get(k, 0) for k in base)
