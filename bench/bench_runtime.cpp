@@ -10,6 +10,15 @@
 // and wall time per rate, plus the wall-clock overhead of the resilience
 // machinery itself with injection disabled (expected < 1%).
 //
+// --sdc-rate R (ISSUE 8, docs/robustness.md) runs the silent-data-
+// corruption sweep instead: *functional* small-shape traffic with
+// SDC-only fault plans at rates {0, R/4, R/2, R}, resilience and the
+// verify+correct ABFT policy on. Per rate: checksum checks, detections,
+// in-place corrections, IntegrityError recomputes, CPU fallbacks, and
+// goodput (requests delivered with a correct C, validated against the
+// host reference — any silent escape fails the run). --smoke shrinks the
+// request count for CI.
+//
 // --replay (ISSUE 7, docs/serving.md) runs the open-loop arrival replay:
 // Poisson arrivals in *simulated* cycles over an irregular small-shape
 // mix, swept across offered rates, once without and once with shape-class
@@ -19,6 +28,7 @@
 // must clear 1.3x the uncoalesced knee. --smoke shrinks the sweep and
 // asserts structural invariants only (CI); --json PATH appends
 // informational entries for tools/bench_compare.py.
+#include <array>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -26,8 +36,10 @@
 #include <string>
 #include <vector>
 
+#include "ftm/cpu/cpu_gemm.hpp"
 #include "ftm/fault/fault.hpp"
 #include "ftm/runtime/runtime.hpp"
+#include "ftm/workload/generators.hpp"
 #include "ftm/trace/chrome.hpp"
 #include "ftm/trace/trace.hpp"
 #include "ftm/util/cli.hpp"
@@ -97,6 +109,148 @@ double run_serving(int requests, double rate, bool resilient,
                         .count();
   *out = rt.stats();
   return ms;
+}
+
+// ------------------------------------------------ SDC sweep (ISSUE 8)
+
+/// Per-rate outcome of the silent-corruption sweep.
+struct SdcPoint {
+  double rate = 0;
+  runtime::RuntimeStats stats;
+  std::uint64_t injected = 0;  ///< bit flips the injector landed
+  std::size_t correct = 0;     ///< delivered C matching the reference
+  std::size_t total = 0;
+  double wall_ms = 0;
+};
+
+/// Functional traffic (real matrices — corruption needs data to land in)
+/// over the chaos harness's small irregular mix, under an SDC-only plan.
+SdcPoint run_sdc_point(int requests, double rate, std::uint64_t seed) {
+  const std::vector<std::array<std::size_t, 3>> mix = {
+      {64, 48, 32}, {96, 16, 64}, {24, 24, 96}, {128, 16, 16}};
+  fault::FaultPlan plan;
+  plan.seed = seed;
+  for (int c = 0; c < 4; ++c) {
+    plan.cluster(c).silent_corruption_rate = rate;
+  }
+  fault::FaultInjector fi(plan);
+  RuntimeOptions ro;
+  ro.clusters = 4;
+  ro.split_wide = false;
+  ro.keep_request_log = false;
+  ro.resilience.enabled = true;
+  ro.fault_injector = &fi;
+  ro.integrity = runtime::IntegrityPolicy::uniform(
+      core::IntegrityMode::VerifyCorrect);
+  GemmRuntime rt(ro);
+
+  struct Problem {
+    workload::GemmProblem p;
+    HostMatrix expected;
+  };
+  std::vector<Problem> problems;
+  problems.reserve(static_cast<std::size_t>(requests));
+  for (int i = 0; i < requests; ++i) {
+    const auto& s = mix[static_cast<std::size_t>(i) % mix.size()];
+    Problem pr{workload::make_problem(s[0], s[1], s[2],
+                                      seed * 10000 + static_cast<std::uint64_t>(i)),
+               HostMatrix(s[0], s[1])};
+    for (std::size_t r = 0; r < s[0]; ++r) {
+      for (std::size_t c = 0; c < s[1]; ++c) {
+        pr.expected.at(r, c) = pr.p.c.at(r, c);
+      }
+    }
+    cpu::reference_gemm(pr.p.a.view(), pr.p.b.view(), pr.expected.view());
+    problems.push_back(std::move(pr));
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::future<core::GemmResult>> futs;
+  futs.reserve(problems.size());
+  for (Problem& pr : problems) {
+    futs.push_back(rt.submit(GemmInput::bound(
+        pr.p.a.view(), pr.p.b.view(), pr.p.c.view())));
+  }
+  SdcPoint pt;
+  pt.rate = rate;
+  for (std::size_t i = 0; i < futs.size(); ++i) {
+    ++pt.total;
+    try {
+      futs[i].get();
+    } catch (const FaultError&) {
+      continue;  // counted in stats.failed; not a correct delivery
+    }
+    // An ABFT-corrected element carries the row-checksum's rounding
+    // noise, far below any surviving bit flip (relative error >= ~0.5);
+    // 1e-2 separates the two regimes (see tests/chaos_test.cpp).
+    if (max_rel_diff(problems[i].p.c.view(), problems[i].expected.view()) <
+        1e-2) {
+      ++pt.correct;
+    }
+  }
+  pt.wall_ms = std::chrono::duration<double, std::milli>(
+                   std::chrono::steady_clock::now() - t0)
+                   .count();
+  pt.stats = rt.stats();
+  pt.injected = fi.injected(FaultKind::SilentCorruption);
+  return pt;
+}
+
+int run_sdc_sweep(const Cli& cli, double top_rate) {
+  const bool smoke = cli.has("smoke");
+  const int requests =
+      static_cast<int>(cli.get_int("requests", smoke ? 60 : 200));
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(cli.get_int("seed", 2026));
+
+  Table t({"sdc rate", "requests", "checks", "detected", "corrected",
+           "recomputed", "fallbacks", "correct", "goodput %", "wall ms"});
+  bool ok = true;
+  for (const double rate :
+       {0.0, top_rate / 4, top_rate / 2, top_rate}) {
+    const SdcPoint p = run_sdc_point(requests, rate, seed);
+    const double goodput =
+        100.0 * static_cast<double>(p.correct) / static_cast<double>(p.total);
+    t.begin_row()
+        .cell(rate, 4)
+        .cell(p.total)
+        .cell(static_cast<std::size_t>(p.stats.checksum_checks))
+        .cell(static_cast<std::size_t>(p.stats.sdc_detected))
+        .cell(static_cast<std::size_t>(p.stats.sdc_corrected))
+        .cell(static_cast<std::size_t>(p.stats.recomputed_shards))
+        .cell(static_cast<std::size_t>(p.stats.fallbacks))
+        .cell(p.correct)
+        .cell(goodput, 1)
+        .cell(p.wall_ms, 1);
+    // Invariants, checked at every rate (the --smoke contract): with
+    // resilience + verify+correct, every request must deliver a correct
+    // C — an incorrect delivery is a silent escape, the one outcome the
+    // ABFT layer exists to rule out.
+    if (p.correct != p.total) {
+      std::printf("FAIL: %zu of %zu deliveries correct at rate %.4f "
+                  "(silent escape)\n",
+                  p.correct, p.total, rate);
+      ok = false;
+    }
+    if (p.stats.checksum_checks == 0) {
+      std::printf("FAIL: no checksum checks ran at rate %.4f\n", rate);
+      ok = false;
+    }
+    if (rate == 0.0 && p.stats.sdc_detected != 0) {
+      std::printf("FAIL: %llu false positives at rate 0\n",
+                  static_cast<unsigned long long>(p.stats.sdc_detected));
+      ok = false;
+    }
+    if (p.injected > 0 && p.stats.sdc_detected == 0) {
+      std::printf("FAIL: %llu flips injected at rate %.4f, none detected\n",
+                  static_cast<unsigned long long>(p.injected), rate);
+      ok = false;
+    }
+  }
+  t.print("Goodput vs injected silent-corruption rate (ABFT verify+correct)");
+  t.write_csv("runtime_sdc.csv");
+  std::printf("CSV written to runtime_sdc.csv\n");
+  return ok ? 0 : 1;
 }
 
 // ------------------------------------------------ arrival replay (ISSUE 7)
@@ -325,6 +479,9 @@ int run_replay_sweep(const Cli& cli) {
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
   if (cli.has("replay")) return run_replay_sweep(cli);
+  if (cli.has("sdc-rate")) {
+    return run_sdc_sweep(cli, cli.get_double("sdc-rate", 0.1));
+  }
   const std::string trace_path = cli.get("trace", "");
   const double fault_rate = cli.get_double("fault-rate", 0.0);
   trace::TraceSession session;

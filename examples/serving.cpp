@@ -11,6 +11,11 @@
 //             [--trace FILE]  Chrome trace-event JSON out
 //             [--chaos S]     fault drill: seeded FaultPlan::chaos(S)
 //                             (S >= 0; also enables the resilience layer)
+//             [--sdc S]       integrity drill: seeded SDC-only plan flips
+//                             bits in stored C panels while the ABFT
+//                             verify+correct policy catches every one;
+//                             runs *functional* (scaled-down) traffic
+//                             since corruption needs real data to land in
 //             [--rps R]       open-loop replay: Poisson arrivals at R
 //                             virtual requests/s with shape-class
 //                             coalescing on (docs/serving.md)
@@ -27,6 +32,13 @@
 // FaultPlan::chaos() breaks DMA transfers, stalls one cluster, and kills
 // another, while the runtime's resilience layer (retries, quarantine,
 // CPU fallback — see docs/robustness.md) keeps every request resolving.
+//
+// With --sdc S it becomes an integrity drill instead: silent bit flips
+// land in stored results exactly where an ECC escape would put them, the
+// Huang–Abraham checksum layer (src/abft/) detects every one, corrects
+// single-element damage in place, and escalates the rest through the
+// resilience path as typed IntegrityErrors — the report's integrity
+// columns show checks/detections/corrections per request.
 //
 // With --rps R arrivals happen on the *simulated* clock (virtual time):
 // each request carries a QosOptions::arrival_cycle drawn from a Poisson
@@ -50,6 +62,7 @@
 #include "ftm/util/cli.hpp"
 #include "ftm/util/prng.hpp"
 #include "ftm/util/stats.hpp"
+#include "ftm/workload/generators.hpp"
 
 int main(int argc, char** argv) {
   using namespace ftm;
@@ -59,6 +72,7 @@ int main(int argc, char** argv) {
   const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed", 7));
   const std::string trace_path = cli.get("trace", "");
   const int chaos_seed = cli.get_int("chaos", -1);
+  const int sdc_seed = cli.get_int("sdc", -1);
   const double rps = cli.get_double("rps", 0.0);
   const bool qos_mode = cli.has("qos");
 
@@ -90,6 +104,31 @@ int main(int argc, char** argv) {
     }
     std::printf("\n");
   }
+  if (sdc_seed >= 0 && chaos_seed < 0) {
+    // SDC-only plan: no loud faults, just seeded bit flips in stored C
+    // panels. Functional traffic (corruption needs data), resilience for
+    // the IntegrityError recompute path, verify+correct as the policy
+    // floor for every priority class.
+    fault::FaultPlan plan;
+    plan.seed = static_cast<std::uint64_t>(sdc_seed);
+    Prng rates(plan.seed ^ 0x5DC05DC05DC05DC0ULL);
+    for (int c = 0; c < clusters; ++c) {
+      plan.cluster(c).silent_corruption_rate =
+          0.02 + rates.next_double() * 0.10;
+    }
+    injector = std::make_unique<fault::FaultInjector>(plan);
+    ro.fault_injector = injector.get();
+    ro.resilience.enabled = true;
+    ro.gemm.functional = true;
+    ro.integrity = runtime::IntegrityPolicy::uniform(
+        core::IntegrityMode::VerifyCorrect);
+    std::printf("sdc mode: seed %d, ABFT verify+correct —", sdc_seed);
+    for (int c = 0; c < clusters; ++c) {
+      std::printf(" c%d[flip=%.3f]", c,
+                  injector->plan().clusters[c].silent_corruption_rate);
+    }
+    std::printf("\n");
+  }
   if (rps > 0) {
     ro.batching.enabled = cli.get_bool("coalesce", true);
     ro.batching.max_batch = 8;
@@ -111,6 +150,10 @@ int main(int argc, char** argv) {
   Prng rng(seed);
   std::vector<std::future<core::GemmResult>> futs;
   futs.reserve(static_cast<std::size_t>(requests));
+  // SDC mode runs functional: real operands, kept alive until the futures
+  // resolve (HostMatrix buffers are stable across vector growth).
+  std::vector<workload::GemmProblem> live;
+  if (ro.gemm.functional) live.reserve(static_cast<std::size_t>(requests));
   std::printf("serving %d requests on %d cluster(s)%s%s\n\n", requests,
               clusters, rps > 0 ? " [open-loop replay]" : "",
               qos_mode ? " [qos]" : "");
@@ -121,6 +164,17 @@ int main(int argc, char** argv) {
         roll == 0 ? core::GemmInput::shape_only(32768, 96, 2048)   // prefill
         : roll < 4 ? core::GemmInput::shape_only(4096, 16, 512)    // decode
                    : core::GemmInput::shape_only(512, 16, 128);    // tiny
+    if (ro.gemm.functional) {
+      // Same mix, scaled down so host-side functional execution stays
+      // demo-fast: prefill / decode / tiny.
+      const std::size_t m = roll == 0 ? 2048 : roll < 4 ? 512 : 128;
+      const std::size_t n = roll == 0 ? 96 : 16;
+      const std::size_t k = roll == 0 ? 512 : roll < 4 ? 128 : 64;
+      live.push_back(workload::make_problem(
+          m, n, k, seed * 1000 + static_cast<std::uint64_t>(i)));
+      workload::GemmProblem& p = live.back();
+      in = core::GemmInput::bound(p.a.view(), p.b.view(), p.c.view());
+    }
     runtime::QosOptions qos;
     if (rps > 0) {
       arrival_s += -std::log(1.0 - rng.next_double()) / rps;
@@ -193,6 +247,15 @@ int main(int argc, char** argv) {
                   r.cpu_fallback ? " [cpu fallback]" : "",
                   r.deadline_missed ? " [deadline missed]" : "");
     }
+    if (r.checksum_checks > 0 || r.sdc_detected > 0) {
+      std::printf("        ^ integrity: %llu checks, %llu detected, "
+                  "%llu corrected%s\n",
+                  static_cast<unsigned long long>(r.checksum_checks),
+                  static_cast<unsigned long long>(r.sdc_detected),
+                  static_cast<unsigned long long>(r.sdc_corrected),
+                  r.fault && r.sdc_detected > 0 ? " [recompute queued]"
+                                                : "");
+    }
   }
   std::printf("\n");
   rt.report().print("Runtime per-cluster summary");
@@ -239,6 +302,17 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(s.fallbacks),
         static_cast<unsigned long long>(s.deadline_misses),
         static_cast<unsigned long long>(s.rerouted), failed);
+  }
+  if (s.checksum_checks > 0 || s.sdc_detected > 0) {
+    std::printf(
+        "integrity: %llu checksum checks, %llu flips injected, "
+        "%llu detected, %llu corrected in place, %llu recomputed\n",
+        static_cast<unsigned long long>(s.checksum_checks),
+        static_cast<unsigned long long>(
+            injector ? injector->injected(FaultKind::SilentCorruption) : 0),
+        static_cast<unsigned long long>(s.sdc_detected),
+        static_cast<unsigned long long>(s.sdc_corrected),
+        static_cast<unsigned long long>(s.recomputed_shards));
   }
   return 0;
 }

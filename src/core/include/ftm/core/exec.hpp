@@ -60,6 +60,14 @@ class HostExecEngine {
   /// Elementwise acc[i] += x[i] on `core`'s queue (reduction merges).
   void add_f32(int core, float* acc, const float* x, std::size_t n);
 
+  /// Injected silent bit-flip on `core`'s queue: XORs `xor_mask` into
+  /// FP32 word `word` of the transfer destination. Must be enqueued
+  /// right after the copy() it damages (same core queue => runs after
+  /// the bytes land, preserving the ECC-escape-on-store semantics under
+  /// any pool size).
+  void corrupt(int core, const sim::DmaRequest& req, std::uint8_t* dst,
+               std::uint64_t word, std::uint32_t xor_mask);
+
   /// A copy whose destination other cores will read (GSM panel loads):
   /// flushes every queue, then copies inline on the calling thread.
   void serial_copy(const sim::DmaRequest& req, const std::uint8_t* src,
@@ -75,13 +83,17 @@ class HostExecEngine {
 
  private:
   struct Op {
-    enum class Kind : std::uint8_t { Copy, Zero, KernelF32, KernelF64, Add };
+    enum class Kind : std::uint8_t {
+      Copy, Zero, KernelF32, KernelF64, Add, Corrupt
+    };
     Kind kind;
-    sim::DmaRequest req;                       // Copy
+    sim::DmaRequest req;                       // Copy/Corrupt
     const void* src = nullptr;                 // Copy/kernels A / Add x
     const void* src2 = nullptr;                // kernels B
     void* dst = nullptr;                       // Copy/Zero/kernels C / Add acc
-    std::size_t n = 0;                         // Zero bytes / Add elems
+    std::size_t n = 0;                         // Zero bytes / Add elems /
+                                               // Corrupt word index
+    std::uint32_t mask = 0;                    // Corrupt xor mask
     const kernelgen::MicroKernel* uk = nullptr;
   };
 

@@ -22,6 +22,27 @@ enum class Strategy {
 
 const char* to_string(Strategy s);
 
+/// How much ABFT checksum protection a GEMM call gets (src/abft/,
+/// docs/robustness.md). Ordered by strength so policies can be merged
+/// with std::max: a request may strengthen but never weaken the
+/// runtime's per-priority-class floor.
+enum class IntegrityMode {
+  Off,            ///< no checksums; bit/cycle-identical to pre-ABFT builds
+  Verify,         ///< verify checksums at store; any mismatch escalates
+  VerifyCorrect,  ///< verify + repair single-element errors in place
+};
+
+const char* to_string(IntegrityMode m);
+
+/// ABFT policy knobs carried on FtimmOptions (and merged per QoS class by
+/// the runtime).
+struct IntegrityOptions {
+  IntegrityMode mode = IntegrityMode::Off;
+  /// Multiplies the norm-scaled checksum tolerance (1.0 = calibrated
+  /// default); raise it for data with pathological dynamic range.
+  double tolerance_scale = 1.0;
+};
+
 /// One GEMM invocation: C += A * B. Views may be empty when the engine
 /// runs in timing-only mode (huge sweeps where only cycles matter).
 struct GemmInput {
@@ -79,6 +100,9 @@ struct FtimmOptions {
   /// the calling thread, exactly the pre-engine behavior). Non-owning;
   /// must outlive the call. The runtime injects its own pool here.
   TaskPool* host_pool = nullptr;
+  /// ABFT checksum verification (src/abft/). Off by default: the
+  /// verify-off path performs no checksum work and charges no cycles.
+  IntegrityOptions integrity;
 };
 
 /// What a simulated GEMM cost.
@@ -100,6 +124,13 @@ struct GemmResult {
   /// the accumulation order differs) but the cycle fields are zero — the
   /// host is outside the simulated cycle model.
   bool cpu_fallback = false;
+  /// ABFT integrity accounting (all zero when integrity.mode == Off).
+  std::uint64_t checksum_checks = 0;  ///< row+col checksum comparisons
+  std::uint64_t sdc_detected = 0;     ///< checksum mismatches observed
+  std::uint64_t sdc_corrected = 0;    ///< elements repaired in place
+  /// Simulated cycles charged for the checksum FLOPs/DMA; already
+  /// included in `cycles`.
+  std::uint64_t checksum_cycles = 0;
 };
 
 }  // namespace ftm::core

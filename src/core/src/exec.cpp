@@ -43,6 +43,10 @@ void HostExecEngine::run_op(const Op& op) {
       kernelgen::hostsimd::add_f32(static_cast<float*>(op.dst),
                                    static_cast<const float*>(op.src), op.n);
       return;
+    case Op::Kind::Corrupt:
+      sim::dma_corrupt(op.req, static_cast<std::uint8_t*>(op.dst), op.n,
+                       op.mask);
+      return;
   }
 }
 
@@ -102,6 +106,18 @@ void HostExecEngine::add_f32(int core, float* acc, const float* x,
   op.dst = acc;
   op.src = x;
   op.n = n;
+  push(core, op);
+}
+
+void HostExecEngine::corrupt(int core, const sim::DmaRequest& req,
+                             std::uint8_t* dst, std::uint64_t word,
+                             std::uint32_t xor_mask) {
+  Op op;
+  op.kind = Op::Kind::Corrupt;
+  op.req = req;
+  op.dst = dst;
+  op.n = static_cast<std::size_t>(word);
+  op.mask = xor_mask;
   push(core, op);
 }
 

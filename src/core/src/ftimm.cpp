@@ -1,7 +1,10 @@
 #include "ftm/core/ftimm.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <optional>
 
+#include "ftm/abft/abft.hpp"
 #include "ftm/trace/trace.hpp"
 
 namespace ftm::core {
@@ -12,6 +15,15 @@ const char* to_string(Strategy s) {
     case Strategy::TGemm: return "tgemm";
     case Strategy::ParallelM: return "ftimm-M";
     case Strategy::ParallelK: return "ftimm-K";
+  }
+  return "?";
+}
+
+const char* to_string(IntegrityMode m) {
+  switch (m) {
+    case IntegrityMode::Off: return "off";
+    case IntegrityMode::Verify: return "verify";
+    case IntegrityMode::VerifyCorrect: return "verify+correct";
   }
   return "?";
 }
@@ -92,6 +104,30 @@ GemmPlan FtimmEngine::plan(std::size_t m, std::size_t n, std::size_t k,
   return p;
 }
 
+namespace {
+
+/// Simulated cycles the Huang–Abraham checksum scheme costs: the extra
+/// FLOPs charged at per-core peak across the run's active cores, plus one
+/// DMA-cost charge for the checksum rows/columns riding the panel
+/// transfers. A pure cycle-model addend — no data moves here.
+std::uint64_t checksum_cost_cycles(const isa::MachineConfig& mc,
+                                   const GemmInput& in, int cores) {
+  const double flops_per_cycle =
+      static_cast<double>(mc.peak_flops_per_cycle()) *
+      static_cast<double>(cores);
+  const auto flop_cycles = static_cast<std::uint64_t>(
+      std::ceil(static_cast<double>(abft::checksum_flops(in.m, in.n, in.k)) /
+                flops_per_cycle));
+  sim::DmaRequest req;
+  req.route = sim::DmaRoute::DdrToSpm;
+  req.rows = 1;
+  req.row_bytes =
+      static_cast<std::size_t>(abft::checksum_bytes(in.m, in.n, in.k));
+  return flop_cycles + sim::dma_cost_cycles(mc, req, cores);
+}
+
+}  // namespace
+
 GemmResult FtimmEngine::sgemm_planned(const GemmInput& in,
                                       const GemmPlan& plan,
                                       const FtimmOptions& opt) {
@@ -101,18 +137,60 @@ GemmResult FtimmEngine::sgemm_planned(const GemmInput& in,
   // caller's ping-pong setting (0 = plan has no opinion).
   FtimmOptions eff = opt;
   if (plan.dma_buffers > 0) eff.pingpong = plan.dma_buffers >= 2;
+
+  // ABFT (ISSUE 8, docs/robustness.md): capture the checksum expectations
+  // before the strategy mutates C. Timing-only runs have no data to
+  // protect but still pay the modeled checksum cycles, so the overhead is
+  // visible in cycle sweeps. The Off path must not touch the abft layer
+  // at all — it stays byte- and cycle-identical to a pre-ABFT build.
+  const bool protect = eff.integrity.mode != IntegrityMode::Off;
+  std::optional<abft::Checker> checker;
+  if (protect && eff.functional && in.c.data() != nullptr) {
+    checker.emplace(in.a, in.b, in.c, eff.integrity.tolerance_scale);
+  }
+
+  GemmResult r;
   switch (plan.strategy) {
     case Strategy::ParallelM:
-      return run_strategy_m(cluster_, *cache_, in, plan.mblocks, eff);
-    case Strategy::ParallelK:
-      return run_strategy_k(cluster_, *cache_, in, plan.kblocks, eff);
-    case Strategy::TGemm:
-      return run_tgemm(cluster_, *cache_, in, plan.tblocks, eff);
-    case Strategy::Auto:
+      r = run_strategy_m(cluster_, *cache_, in, plan.mblocks, eff);
       break;
+    case Strategy::ParallelK:
+      r = run_strategy_k(cluster_, *cache_, in, plan.kblocks, eff);
+      break;
+    case Strategy::TGemm:
+      r = run_tgemm(cluster_, *cache_, in, plan.tblocks, eff);
+      break;
+    case Strategy::Auto:
+      FTM_ASSERT(false);
+      return {};
   }
-  FTM_ASSERT(false);
-  return {};
+  if (!protect) return r;
+
+  if (checker) {
+    // Throws IntegrityError when the damage exceeds in-place repair; the
+    // runtime's resilience path recomputes (C is unspecified until then).
+    const abft::VerifyStats vs = checker->verify(
+        in.c, eff.integrity.mode == IntegrityMode::VerifyCorrect,
+        cluster_.id());
+    r.checksum_checks = static_cast<std::uint64_t>(vs.checks);
+    r.sdc_detected = static_cast<std::uint64_t>(vs.detected);
+    r.sdc_corrected = static_cast<std::uint64_t>(vs.corrected);
+    FTM_TRACE_COUNTER("integrity.checks", r.checksum_checks);
+    if (r.sdc_detected > 0) {
+      FTM_TRACE_COUNTER("integrity.detected", r.sdc_detected);
+    }
+    if (r.sdc_corrected > 0) {
+      FTM_TRACE_COUNTER("integrity.corrected", r.sdc_corrected);
+    }
+  }
+  r.checksum_cycles = checksum_cost_cycles(mc_, in, r.cores);
+  r.cycles += r.checksum_cycles;
+  r.seconds = cluster_.cycles_to_seconds(r.cycles);
+  r.gflops = cluster_.gflops(in.flops(), r.cycles);
+  const double peak = mc_.core_peak_gflops() * static_cast<double>(r.cores);
+  r.efficiency = peak > 0 ? r.gflops / peak : 0.0;
+  FTM_TRACE_COUNTER("integrity.cycles", r.checksum_cycles);
+  return r;
 }
 
 GemmResult FtimmEngine::sgemm(const GemmInput& in, const FtimmOptions& opt) {

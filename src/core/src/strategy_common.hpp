@@ -76,6 +76,12 @@ struct RunCtx {
     if (fn) {
       FTM_EXPECTS(src != nullptr && dst != nullptr);
       exec.copy(core, req, src, dst);
+      // Silent-corruption hook (C stores only): enqueued on the same
+      // core queue right after the copy, so the flip lands on what DDR
+      // holds after the transfer — an ECC escape on the store path.
+      if (const auto sc = cl.store_corruption(core, req)) {
+        exec.corrupt(core, req, dst, sc->word, sc->xor_mask);
+      }
     }
     if (!opt.pingpong) cl.timeline(core).dma_wait(h);
     return h;
@@ -95,6 +101,9 @@ struct RunCtx {
     if (fn) {
       FTM_EXPECTS(src != nullptr && dst != nullptr);
       exec.serial_copy(req, src, dst);
+      if (const auto sc = cl.store_corruption(core, req)) {
+        sim::dma_corrupt(req, dst, sc->word, sc->xor_mask);
+      }
     }
     if (!opt.pingpong) cl.timeline(core).dma_wait(h);
     return h;

@@ -4,10 +4,15 @@
 // DSP core's DMA engine, each scratchpad, and each GPDSP cluster as a
 // whole. A FaultPlan declares which of those domains misbehave and how
 // often; a FaultInjector executes the plan at the hook points the
-// simulator exposes (Cluster::dma / Cluster::reset) so that every
-// injected failure surfaces as a typed ftm::FaultError — never as silent
-// corruption and never as a ContractViolation (which the runtime treats
-// as a deterministic caller bug, not a transient hardware fault).
+// simulator exposes (Cluster::dma / Cluster::reset). Loud faults
+// surface as a typed ftm::FaultError — never as a
+// ContractViolation (which the runtime treats as a deterministic caller
+// bug, not a transient hardware fault). One fault kind is deliberately
+// *not* loud: SilentCorruption flips bits in a stored C panel without
+// raising anything, modeling the ECC escapes that only the ABFT
+// checksum layer (src/abft/, docs/robustness.md) can catch; when that
+// layer detects damage it cannot repair, it escalates as
+// FaultError(IntegrityError).
 //
 // Determinism: each cluster draws from its own seeded xoshiro stream, and
 // a cluster is only ever driven by one thread at a time (see
@@ -21,6 +26,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -29,18 +35,24 @@
 
 namespace ftm {
 
-/// What kind of failure a FaultError reports. The first four are injected
-/// by the simulator; the last three are raised by the runtime itself
-/// (deadline enforcement, shutdown, and admission control).
+/// What kind of failure a FaultError reports. The first five are injected
+/// by the simulator (SilentCorruption is counted, never thrown — it
+/// damages data instead); the next three are raised by the runtime itself
+/// (deadline enforcement, shutdown, and admission control);
+/// IntegrityError is raised by the ABFT checksum layer when a corrupted
+/// C block cannot be repaired in place and must be recomputed.
 enum class FaultKind {
   DmaError,          ///< a DMA transfer failed outright
   DmaTimeout,        ///< a DMA transfer stalled (charged a latency penalty)
   SpmEcc,            ///< uncorrectable ECC-style scratchpad corruption
   ClusterStall,      ///< cluster running at a slowdown multiplier
   ClusterDead,       ///< whole-cluster hard failure
+  SilentCorruption,  ///< sim: bit-flip in a stored C panel (never thrown)
   DeadlineExceeded,  ///< runtime: request blew its deadline
   Cancelled,         ///< runtime: shut down before the request could finish
   Rejected,          ///< runtime: admission control refused the submission
+  IntegrityError,    ///< abft: checksum mismatch beyond in-place repair
+  kCount,            ///< sentinel: number of kinds, not a kind itself
 };
 
 const char* to_string(FaultKind k);
@@ -67,6 +79,25 @@ class FaultError : public std::runtime_error {
   int core_;
 };
 
+/// FaultError specialization raised by the ABFT layer (src/abft/) when a
+/// C block fails checksum verification beyond in-place repair: more than
+/// one damaged element, or a correction that did not re-verify. Carries
+/// the number of checksum mismatches so the runtime can account the
+/// recompute. Flows through the exact same retry/re-bind/CPU-fallback
+/// path as any other transient FaultError.
+class IntegrityError : public FaultError {
+ public:
+  IntegrityError(int cluster, int detected, const std::string& what)
+      : FaultError(FaultKind::IntegrityError, cluster, -1, what),
+        detected_(detected) {}
+
+  /// Number of row/column checksum mismatches observed in the block.
+  int detected() const { return detected_; }
+
+ private:
+  int detected_;
+};
+
 namespace fault {
 
 /// Failure behavior of one cluster. Rates are per DMA transfer in [0, 1].
@@ -76,6 +107,11 @@ struct ClusterFaults {
   double spm_ecc_rate = 0;      ///< transfer aborts with FaultKind::SpmEcc
   double stall_multiplier = 1;  ///< > 1 scales all compute/DMA cycles
   bool dead = false;            ///< every operation fails (ClusterDead)
+  /// Per-C-store-transfer probability that one FP32 word of the stored
+  /// panel is silently bit-flipped (an ECC escape). Nothing is thrown;
+  /// only the ABFT checksum layer can observe it. Functional mode only —
+  /// timing-only runs carry no data to corrupt.
+  double silent_corruption_rate = 0;
 };
 
 /// A declarative, seeded description of which failure domains misbehave.
@@ -91,9 +127,9 @@ struct FaultPlan {
   ClusterFaults& cluster(int c);
 
   /// Randomized mixed plan for the chaos harness: every cluster gets
-  /// small DMA error/timeout/ECC rates, and (when clusters > 1) exactly
-  /// one cluster is dead and one other is stalled 2-8x. Deterministic in
-  /// `seed`.
+  /// small DMA error/timeout/ECC and silent-corruption rates, and (when
+  /// clusters > 1) exactly one cluster is dead and one other is stalled
+  /// 2-8x. Deterministic in `seed`.
   static FaultPlan chaos(std::uint64_t seed, int clusters);
 };
 
@@ -106,10 +142,29 @@ class FaultInjector {
  public:
   explicit FaultInjector(FaultPlan plan);
 
+  /// One silent bit-flip to apply to a stored panel: XOR `xor_mask` into
+  /// FP32 word `word` of the transfer. The mask always sets the exponent
+  /// MSB (bit 30) plus one high mantissa bit, so the damage is orders of
+  /// magnitude above any checksum rounding noise — an injected flip is
+  /// detectable by construction, which is what lets the chaos harness
+  /// assert *zero* silent escapes rather than "most".
+  struct Corruption {
+    std::uint64_t word = 0;       ///< FP32 word index within the transfer
+    std::uint32_t xor_mask = 0;   ///< bits to flip in that word
+  };
+
   /// DMA-issue hook. Returns extra cycles to charge on the transfer
   /// (non-zero for an injected timeout); throws FaultError for an
   /// injected DmaError/SpmEcc, or ClusterDead when the cluster is dead.
   std::uint64_t on_dma(int cluster, int core, std::uint64_t bytes);
+
+  /// C-store hook (SPM -> DDR, functional mode only): rolls the cluster's
+  /// silent_corruption_rate and, on a hit, returns the bit-flip to apply
+  /// to the outgoing panel. Never throws; counted as SilentCorruption.
+  /// Consumes PRNG state only when the cluster's rate is non-zero, so
+  /// plans without SDC keep bit-identical fault sequences.
+  std::optional<Corruption> on_store(int cluster, int core,
+                                     std::uint64_t bytes);
 
   /// GEMM-start hook (Cluster::reset): throws ClusterDead when dead.
   void check_alive(int cluster);
@@ -145,7 +200,12 @@ class FaultInjector {
 
   FaultPlan plan_;
   std::vector<std::unique_ptr<ClusterState>> clusters_;
-  static constexpr int kKinds = 8;
+  /// Derived from the enum's sentinel so a new FaultKind can never
+  /// silently truncate the counter array again.
+  static constexpr int kKinds = static_cast<int>(FaultKind::kCount);
+  static_assert(kKinds == 10,
+                "FaultKind changed: update to_string(), the fault-model "
+                "table in docs/robustness.md, and this assert");
   std::atomic<std::uint64_t> counts_[kKinds] = {};
 };
 

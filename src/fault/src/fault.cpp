@@ -14,9 +14,12 @@ const char* to_string(FaultKind k) {
     case FaultKind::SpmEcc: return "spm-ecc";
     case FaultKind::ClusterStall: return "cluster-stall";
     case FaultKind::ClusterDead: return "cluster-dead";
+    case FaultKind::SilentCorruption: return "silent-corruption";
     case FaultKind::DeadlineExceeded: return "deadline-exceeded";
     case FaultKind::Cancelled: return "cancelled";
     case FaultKind::Rejected: return "rejected";
+    case FaultKind::IntegrityError: return "integrity-error";
+    case FaultKind::kCount: break;
   }
   return "?";
 }
@@ -41,6 +44,7 @@ FaultPlan FaultPlan::chaos(std::uint64_t seed, int clusters) {
     cf.dma_error_rate = 0.002 + rng.next_double() * 0.010;
     cf.dma_timeout_rate = 0.002 + rng.next_double() * 0.010;
     cf.spm_ecc_rate = rng.next_double() * 0.004;
+    cf.silent_corruption_rate = rng.next_double() * 0.020;
   }
   if (clusters > 1) {
     const int dead = static_cast<int>(rng.next_below(clusters));
@@ -139,6 +143,25 @@ std::uint64_t FaultInjector::on_dma(int cluster, int core,
     return plan_.dma_timeout_penalty_cycles;
   }
   return 0;
+}
+
+std::optional<FaultInjector::Corruption> FaultInjector::on_store(
+    int cluster, int core, std::uint64_t bytes) {
+  (void)core;
+  ClusterState& s = state(cluster);
+  const double rate = s.rates.silent_corruption_rate;
+  // Zero-rate clusters must not touch the PRNG: the fault stream of every
+  // pre-existing plan (and the default-off path) stays bit-identical.
+  if (rate <= 0 || bytes < 4) return std::nullopt;
+  if (s.prng.next_double() >= rate) return std::nullopt;
+  Corruption c;
+  c.word = s.prng.next_below(bytes / 4);
+  // Bit 30 (exponent MSB) plus one random high-mantissa/exponent bit:
+  // the resulting delta is >= ~2 in magnitude for any FP32 value
+  // (+0.0f XOR bit30 == 2.0f), far above the checksum tolerance.
+  c.xor_mask = (1u << 30) | (1u << (20 + s.prng.next_below(10)));
+  count(FaultKind::SilentCorruption);
+  return c;
 }
 
 double FaultInjector::stall_multiplier(int cluster) const {

@@ -96,6 +96,38 @@ struct ResilienceOptions {
   bool cpu_fallback = true;
 };
 
+/// Per-priority-class ABFT floors (ISSUE 8, docs/robustness.md §ABFT).
+/// The effective integrity of a dispatch is the *strongest* of: the
+/// request's own FtimmOptions::integrity, its QosOptions::integrity, and
+/// its priority class's floor here — a request can demand more protection
+/// than its class but never opt out of the class floor. Tolerance scales
+/// merge by max (the loosest tolerance wins, avoiding false positives).
+struct IntegrityPolicy {
+  core::IntegrityOptions latency;  ///< floor for Priority::Latency
+  core::IntegrityOptions normal;   ///< floor for Priority::Normal
+  core::IntegrityOptions bulk;     ///< floor for Priority::Bulk
+
+  const core::IntegrityOptions& for_priority(Priority p) const {
+    switch (p) {
+      case Priority::Latency: return latency;
+      case Priority::Bulk: return bulk;
+      case Priority::Normal: break;
+    }
+    return normal;
+  }
+
+  /// Convenience: one floor for every class.
+  static IntegrityPolicy uniform(core::IntegrityMode mode,
+                                 double tolerance_scale = 1.0) {
+    IntegrityPolicy p;
+    for (core::IntegrityOptions* o : {&p.latency, &p.normal, &p.bulk}) {
+      o->mode = mode;
+      o->tolerance_scale = tolerance_scale;
+    }
+    return p;
+  }
+};
+
 struct RuntimeOptions {
   int clusters = 4;          ///< FT-m7032 has four GPDSP clusters
   core::FtimmOptions gemm;   ///< defaults for submit(in) / run_all
@@ -106,6 +138,7 @@ struct RuntimeOptions {
   bool keep_request_log = true;    ///< record per-request RequestStats
   ResilienceOptions resilience;    ///< self-healing layer (ISSUE 3)
   BatchOptions batching;           ///< coalescing + admission (ISSUE 7)
+  IntegrityPolicy integrity;       ///< per-class ABFT floors (ISSUE 8)
   /// Optional fault injector, installed into every cluster's simulator
   /// (non-owning; must outlive the runtime). nullptr = no injection.
   fault::FaultInjector* fault_injector = nullptr;
@@ -291,6 +324,10 @@ class GemmRuntime {
   std::unique_ptr<Request> make_request(const core::GemmInput& in,
                                         const core::FtimmOptions& opt);
   void validate(const core::FtimmOptions& opt) const;
+  /// Resolves the strongest of the request/QoS/class integrity options
+  /// (see IntegrityPolicy); applied once at submit time.
+  core::IntegrityOptions effective_integrity(const core::FtimmOptions& opt,
+                                             const QosOptions& qos) const;
 
   RuntimeOptions ro_;
   isa::MachineConfig mc_;
@@ -328,6 +365,10 @@ class GemmRuntime {
   std::uint64_t coalesced_ = 0;
   std::uint64_t rejected_ = 0;
   std::uint64_t batch_ddr_saved_ = 0;
+  std::uint64_t checksum_checks_ = 0;
+  std::uint64_t sdc_detected_ = 0;
+  std::uint64_t sdc_corrected_ = 0;
+  std::uint64_t recomputed_shards_ = 0;
   /// EWMA of successful execution cycles per shape class — the execution
   /// estimate of deadline admission (predict_latency_cycles).
   std::map<tune::ShapeClass, double> class_cycles_;

@@ -42,6 +42,11 @@ struct RequestStats {
   bool batched = false;             ///< dispatched as a batch member
   std::uint64_t batch_id = 0;       ///< flush order, 1-based; 0 = none
   int batch_size = 0;               ///< members in its batch at flush
+  // ABFT integrity (ISSUE 8, docs/robustness.md). Counted per dispatch;
+  // a recompute after an IntegrityError appends its own record.
+  std::uint64_t checksum_checks = 0;  ///< row+col checksum comparisons
+  std::uint64_t sdc_detected = 0;     ///< checksum mismatches observed
+  std::uint64_t sdc_corrected = 0;    ///< elements repaired in place
 };
 
 /// Aggregate counters; a consistent snapshot taken under the stats lock.
@@ -69,6 +74,14 @@ struct RuntimeStats {
   std::uint64_t coalesced = 0;  ///< requests dispatched in a batch of >= 2
   std::uint64_t rejected = 0;   ///< submissions refused by admission control
   std::uint64_t batch_ddr_saved_bytes = 0;  ///< shared-operand DMA reuse
+  // ABFT integrity counters (ISSUE 8). `sdc_detected` counts checksum
+  // mismatches across all dispatches (corrected or not);
+  // `recomputed_shards` counts dispatches re-executed because an
+  // IntegrityError escalated through the resilience path.
+  std::uint64_t checksum_checks = 0;
+  std::uint64_t sdc_detected = 0;
+  std::uint64_t sdc_corrected = 0;
+  std::uint64_t recomputed_shards = 0;
   std::vector<std::uint64_t> cluster_requests;     ///< dispatches per cluster
   std::vector<std::uint64_t> cluster_busy_cycles;  ///< max lane clock per cluster
   // Per-cluster health (circuit breaker) state.

@@ -427,6 +427,20 @@ void GemmRuntime::validate(const core::FtimmOptions& opt) const {
   FTM_EXPECTS(opt.wide_problem_flops > 0);
 }
 
+core::IntegrityOptions GemmRuntime::effective_integrity(
+    const core::FtimmOptions& opt, const QosOptions& qos) const {
+  const core::IntegrityOptions& cls =
+      ro_.integrity.for_priority(qos.priority);
+  core::IntegrityOptions eff = opt.integrity;
+  // Strongest mode wins (IntegrityMode is ordered by strength); the
+  // loosest tolerance wins so a caller can widen it for wild data.
+  eff.mode = std::max({eff.mode, qos.integrity.mode, cls.mode});
+  eff.tolerance_scale =
+      std::max({eff.tolerance_scale, qos.integrity.tolerance_scale,
+                cls.tolerance_scale});
+  return eff;
+}
+
 std::unique_ptr<Request> GemmRuntime::make_request(
     const core::GemmInput& in, const core::FtimmOptions& opt) {
   auto r = std::make_unique<Request>();
@@ -515,6 +529,9 @@ SubmitResult GemmRuntime::try_submit(const core::GemmInput& in,
   auto r = make_request(in, opt);
   r->priority = qos.priority;
   r->arrival_cycle = qos.arrival_cycle;
+  // ABFT policy is resolved once, here: every dispatch of this request
+  // (retries, steals, CPU fallback aside) runs the same integrity mode.
+  r->opt.integrity = effective_integrity(opt, qos);
   r->cls = tune::ShapeClass::of(in.m, in.n, in.k, opt.cores);
   sr.future = r->promise.get_future();
   {
@@ -638,6 +655,7 @@ std::future<core::GemmResult> GemmRuntime::submit_split(
     req->group = group;
     req->priority = qos.priority;
     req->arrival_cycle = qos.arrival_cycle;
+    req->opt.integrity = effective_integrity(opt, qos);
     req->cls = tune::ShapeClass::of(shard.m, shard.n, shard.k, opt.cores);
     const int target = targets[static_cast<std::size_t>(p)];
     req->bound_cluster = target;
@@ -825,6 +843,17 @@ void GemmRuntime::process(int cluster, std::unique_ptr<Request> req,
                        "simulated-cycle deadline exceeded");
     }
     ok = true;
+  } catch (const IntegrityError& e) {
+    // Unrepairable checksum damage: a transient data fault. Record the
+    // detection here (the dispatch produced no result to copy it from);
+    // handle_fault counts the recompute when it re-dispatches.
+    rs.sdc_detected = static_cast<std::uint64_t>(e.detected());
+    {
+      const std::lock_guard<std::mutex> lock(stats_mu_);
+      sdc_detected_ += rs.sdc_detected;
+    }
+    err = std::current_exception();
+    is_fault = true;
   } catch (const FaultError&) {
     err = std::current_exception();
     is_fault = true;
@@ -837,6 +866,15 @@ void GemmRuntime::process(int cluster, std::unique_ptr<Request> req,
     rs.sim_cycles = result.cycles;
     rs.strategy = result.strategy;
     rs.host_wall_us = result.host_wall_us;
+    rs.checksum_checks = result.checksum_checks;
+    rs.sdc_detected = result.sdc_detected;
+    rs.sdc_corrected = result.sdc_corrected;
+    if (result.checksum_checks > 0 || result.sdc_detected > 0) {
+      const std::lock_guard<std::mutex> lock(stats_mu_);
+      checksum_checks_ += result.checksum_checks;
+      sdc_detected_ += result.sdc_detected;
+      sdc_corrected_ += result.sdc_corrected;
+    }
     if (req->reuse_panel_bytes > 0) {
       // Shared-operand reuse: a batch-mate already staged this A/B panel
       // on the cluster, so this dispatch is not charged its DMA bytes.
@@ -960,8 +998,14 @@ void GemmRuntime::handle_fault(int cluster, std::unique_ptr<Request> req,
         {
           const std::lock_guard<std::mutex> lock(stats_mu_);
           ++retries_;
+          // A faulted dispatch with detections is an IntegrityError
+          // escalation: the re-dispatch recomputes the damaged block.
+          if (rs.fault && rs.sdc_detected > 0) ++recomputed_shards_;
         }
         FTM_TRACE_COUNTER("runtime.retries", 1);
+        if (rs.fault && rs.sdc_detected > 0) {
+          FTM_TRACE_COUNTER("integrity.recomputed", 1);
+        }
         log_request(rs);  // the faulted attempt; the retry logs its own row
         return;
       }
@@ -969,6 +1013,13 @@ void GemmRuntime::handle_fault(int cluster, std::unique_ptr<Request> req,
   }
   // Retries exhausted, no healthy cluster left, or the queue shut down.
   if (res.cpu_fallback) {
+    if (rs.fault && rs.sdc_detected > 0) {
+      {
+        const std::lock_guard<std::mutex> lock(stats_mu_);
+        ++recomputed_shards_;
+      }
+      FTM_TRACE_COUNTER("integrity.recomputed", 1);
+    }
     run_cpu_fallback(std::move(req), rs);
     return;
   }
@@ -1299,6 +1350,9 @@ BatchResult GemmRuntime::run_all(std::span<const core::GemmInput> problems,
   auto enqueue = [&](const core::GemmInput& in,
                      const core::FtimmOptions& o, int c, int lane_limit) {
     auto r = make_request(in, o);
+    // run_all has no per-request QoS; the Normal-class integrity floor
+    // still applies (batch work is not exempt from the ABFT policy).
+    r->opt.integrity = effective_integrity(o, QosOptions{});
     r->lane_limit = lane_limit;
     r->bound_cluster = c;
     futs.push_back(r->promise.get_future());
@@ -1402,6 +1456,10 @@ RuntimeStats GemmRuntime::stats() const {
   s.coalesced = coalesced_;
   s.rejected = rejected_;
   s.batch_ddr_saved_bytes = batch_ddr_saved_;
+  s.checksum_checks = checksum_checks_;
+  s.sdc_detected = sdc_detected_;
+  s.sdc_corrected = sdc_corrected_;
+  s.recomputed_shards = recomputed_shards_;
   for (const auto& cs : clusters_) {
     s.cluster_requests.push_back(cs.requests);
     std::uint64_t mk = 0;

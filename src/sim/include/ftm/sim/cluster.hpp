@@ -6,6 +6,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "ftm/fault/fault.hpp"
@@ -67,6 +68,17 @@ class Cluster {
   /// must perform dma_copy(req, src, dst) themselves. Fault injection
   /// still throws here, i.e. before any bytes would move.
   DmaHandle dma_issue(int c, const DmaRequest& req);
+
+  /// Silent-data-corruption hook for a C-store transfer: with a fault
+  /// injector attached, in functional mode, and only for SpmToDdr routes,
+  /// rolls the injector's silent_corruption_rate and returns the bit-flip
+  /// to apply to the transfer's destination (nullopt otherwise). Callers
+  /// that defer the functional copy (the host execution engine) must
+  /// apply the returned flip *after* their copy lands — the corruption
+  /// models an ECC escape on the store path, so it damages what DDR ends
+  /// up holding, not the SPM source. dma() applies it itself.
+  std::optional<fault::FaultInjector::Corruption> store_corruption(
+      int c, const DmaRequest& req);
 
   /// Synchronize all active cores' clocks to the latest one (barrier).
   void barrier();

@@ -111,4 +111,13 @@ class CoreTimeline {
 void dma_copy(const DmaRequest& req, const std::uint8_t* src,
               std::uint8_t* dst);
 
+/// Applies one silent bit-flip to the *destination* side of an already
+/// performed transfer: XORs `xor_mask` into the FP32 word at logical
+/// payload index `word` (row-major within the transfer, strides applied).
+/// Models an ECC escape on the store path — see fault::FaultInjector::
+/// on_store. `word` must index inside the payload; rows must be FP32
+/// aligned.
+void dma_corrupt(const DmaRequest& req, std::uint8_t* dst,
+                 std::uint64_t word, std::uint32_t xor_mask);
+
 }  // namespace ftm::sim

@@ -63,8 +63,19 @@ DmaHandle Cluster::dma(int c, const DmaRequest& req, const std::uint8_t* src,
   if (functional_) {
     FTM_EXPECTS(src != nullptr && dst != nullptr);
     dma_copy(req, src, dst);
+    if (const auto corrupt = store_corruption(c, req)) {
+      dma_corrupt(req, dst, corrupt->word, corrupt->xor_mask);
+    }
   }
   return h;
+}
+
+std::optional<fault::FaultInjector::Corruption> Cluster::store_corruption(
+    int c, const DmaRequest& req) {
+  if (fault_ == nullptr || !functional_ || req.route != DmaRoute::SpmToDdr) {
+    return std::nullopt;
+  }
+  return fault_->on_store(id_, c, req.total_bytes());
 }
 
 DmaHandle Cluster::dma_issue(int c, const DmaRequest& req) {

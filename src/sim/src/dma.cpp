@@ -84,4 +84,18 @@ void dma_copy(const DmaRequest& req, const std::uint8_t* src,
   }
 }
 
+void dma_corrupt(const DmaRequest& req, std::uint8_t* dst,
+                 std::uint64_t word, std::uint32_t xor_mask) {
+  FTM_EXPECTS(req.row_bytes % 4 == 0);
+  const std::size_t off = static_cast<std::size_t>(word) * 4;
+  FTM_EXPECTS(off < req.total_bytes());
+  const std::size_t row = off / req.row_bytes;
+  const std::size_t col = off % req.row_bytes;
+  std::uint8_t* p = dst + row * req.dst_stride + col;
+  std::uint32_t bits;
+  std::memcpy(&bits, p, 4);
+  bits ^= xor_mask;
+  std::memcpy(p, &bits, 4);
+}
+
 }  // namespace ftm::sim

@@ -1,6 +1,7 @@
-// Chaos harness for the self-healing runtime (ISSUE 3): drive mixed
-// irregular GEMM traffic through GemmRuntime while a seeded FaultInjector
-// breaks DMA transfers, corrupts scratchpads, stalls clusters, and kills
+// Chaos harness for the self-healing runtime (ISSUE 3) and the ABFT
+// integrity layer (ISSUE 8): drive mixed irregular GEMM traffic through
+// GemmRuntime while a seeded FaultInjector breaks DMA transfers, corrupts
+// scratchpads, flips bits in stored results, stalls clusters, and kills
 // them outright. The invariants checked here are the runtime's whole
 // contract under faults:
 //
@@ -65,6 +66,17 @@ ChaosProblem make_chaos_problem(const Shape& s, std::uint64_t seed) {
   return cp;
 }
 
+// Tolerance for a *delivered* C. An ABFT-corrected element is restored to
+// within the row-checksum's rounding noise — absolute error on the order
+// of n * eps32 * |row| (docs/robustness.md derives the bound), far above
+// pure accumulation-order noise but orders of magnitude below the
+// smallest injected flip (relative error >= ~0.5 by the injector's mask
+// construction). 1e-2 splits the two regimes with ample margin on both
+// sides: a correction passes, any silent escape fails loudly.
+double delivered_tolerance(const GemmResult& r, std::size_t k) {
+  return r.sdc_corrected > 0 ? 1e-2 : gemm_tolerance(k);
+}
+
 std::size_t count_mismatches(ConstMatrixView a, ConstMatrixView b) {
   std::size_t bad = 0;
   for (std::size_t r = 0; r < a.rows(); ++r) {
@@ -84,6 +96,10 @@ RuntimeOptions resilient_options(fault::FaultInjector* fi, int clusters = 4) {
   ro.resilience.max_retries = 2;
   ro.resilience.quarantine_after = 3;
   ro.resilience.probe_interval_ms = 1;
+  // Chaos plans inject silent corruption (ISSUE 8); without the ABFT
+  // checksum the "correct C" invariant below would be unprovable.
+  ro.integrity =
+      IntegrityPolicy::uniform(core::IntegrityMode::VerifyCorrect);
   return ro;
 }
 
@@ -116,7 +132,7 @@ TEST(Chaos, EveryFutureResolvesCorrectlyUnderMixedFaults) {
           EXPECT_GT(r.cycles, 0u) << "request " << i;
         }
         EXPECT_LT(max_rel_diff(cp.p.c.view(), cp.expected.view()),
-                  gemm_tolerance(cp.p.k))
+                  delivered_tolerance(r, cp.p.k))
             << "seed " << seed << " request " << i;
       } catch (const FaultError&) {
         // Typed failure: C must be exactly as submitted.
@@ -135,6 +151,66 @@ TEST(Chaos, EveryFutureResolvesCorrectlyUnderMixedFaults) {
     EXPECT_GT(fi.injected_total(), 0u) << "seed " << seed;
     EXPECT_GT(s.faults, 0u) << "seed " << seed;
   }
+}
+
+// --- ABFT acceptance: a silent-corruption storm may not escape -------------
+//
+// SDC-only plans: no loud faults at all, just seeded bit flips landing in
+// stored C panels exactly where an ECC escape would put them. Every
+// injected flip must either be corrected in place by the checksum layer
+// or escalate as a typed IntegrityError whose recompute delivers a
+// correct C. The sweep drives >= 1000 flips across rounds and asserts
+// zero silent escapes — "all delivered C correct", not "most".
+TEST(Chaos, SdcSweepZeroSilentEscapes) {
+  std::uint64_t flips = 0, corrected = 0, recomputed = 0;
+  std::uint64_t detected = 0, checks = 0;
+  for (std::uint64_t round = 0; flips < 1000; ++round) {
+    ASSERT_LT(round, 64u) << "sweep failed to reach 1000 injected flips";
+    fault::FaultPlan plan;
+    plan.seed = 2026 + round;
+    for (int c = 0; c < 4; ++c) {
+      // Spread the rates so low-rate clusters exercise single-element
+      // correction while high-rate ones force multi-error recomputes.
+      plan.cluster(c).silent_corruption_rate = 0.05 * (c + 1);
+    }
+    fault::FaultInjector fi(plan);
+    GemmRuntime rt(resilient_options(&fi));
+
+    constexpr int kRequests = 64;
+    std::vector<ChaosProblem> problems;
+    std::vector<std::future<GemmResult>> futs;
+    problems.reserve(kRequests);
+    for (int i = 0; i < kRequests; ++i) {
+      problems.push_back(
+          make_chaos_problem(kMix[i % kMix.size()], round * 10000 + i));
+      auto& p = problems.back().p;
+      futs.push_back(
+          rt.submit(GemmInput::bound(p.a.view(), p.b.view(), p.c.view())));
+    }
+    for (int i = 0; i < kRequests; ++i) {
+      ChaosProblem& cp = problems[static_cast<std::size_t>(i)];
+      const GemmResult r = futs[static_cast<std::size_t>(i)].get();
+      EXPECT_LT(max_rel_diff(cp.p.c.view(), cp.expected.view()),
+                delivered_tolerance(r, cp.p.k))
+          << "round " << round << " request " << i << " corrected "
+          << r.sdc_corrected;
+    }
+    const RuntimeStats s = rt.stats();
+    EXPECT_EQ(s.completed, static_cast<std::uint64_t>(kRequests));
+    EXPECT_EQ(s.failed, 0u);
+    EXPECT_EQ(fi.injected_total(), fi.injected(FaultKind::SilentCorruption))
+        << "an SDC-only plan may not inject loud faults";
+    flips += fi.injected(FaultKind::SilentCorruption);
+    detected += s.sdc_detected;
+    corrected += s.sdc_corrected;
+    recomputed += s.recomputed_shards;
+    checks += s.checksum_checks;
+  }
+  EXPECT_GE(flips, 1000u);
+  EXPECT_GT(checks, 0u);
+  EXPECT_GT(detected, 0u);
+  EXPECT_GE(corrected, 1u) << "sweep never exercised in-place correction";
+  EXPECT_GE(recomputed, 1u) << "sweep never exercised the recompute path";
 }
 
 // Without the CPU safety net, failures are allowed — but only as typed

@@ -3,6 +3,11 @@
 // instead of corrupting simulated memory or silently mis-sizing blocks.
 #include <gtest/gtest.h>
 
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
 #include "ftm/core/ftimm.hpp"
 #include "ftm/core/strategies.hpp"
 #include "ftm/fault/fault.hpp"
@@ -236,6 +241,47 @@ TEST(Failure, DeadClusterFaultIsTypedAndAttributed) {
   const runtime::RuntimeStats s = rt.stats();
   EXPECT_EQ(s.failed, 1u);
   EXPECT_EQ(s.faults, 1u);  // counted even with resilience off
+}
+
+// The counter array and to_string() are both derived from the enum; this
+// pins every kind to a stable, distinct label so adding a FaultKind
+// without updating to_string() (or the kCount sentinel) fails here
+// instead of printing "?" in a report.
+TEST(Failure, EveryFaultKindHasADistinctName) {
+  const std::vector<std::pair<FaultKind, std::string>> kinds = {
+      {FaultKind::DmaError, "dma-error"},
+      {FaultKind::DmaTimeout, "dma-timeout"},
+      {FaultKind::SpmEcc, "spm-ecc"},
+      {FaultKind::ClusterStall, "cluster-stall"},
+      {FaultKind::ClusterDead, "cluster-dead"},
+      {FaultKind::SilentCorruption, "silent-corruption"},
+      {FaultKind::DeadlineExceeded, "deadline-exceeded"},
+      {FaultKind::Cancelled, "cancelled"},
+      {FaultKind::Rejected, "rejected"},
+      {FaultKind::IntegrityError, "integrity-error"},
+  };
+  ASSERT_EQ(kinds.size(),
+            static_cast<std::size_t>(FaultKind::kCount))
+      << "new FaultKind: add its to_string() expectation here";
+  std::set<std::string> seen;
+  for (const auto& [kind, name] : kinds) {
+    EXPECT_STREQ(to_string(kind), name.c_str());
+    EXPECT_TRUE(seen.insert(name).second) << name << " is duplicated";
+  }
+  // The sentinel is not a kind and must not alias a real label.
+  EXPECT_STREQ(to_string(FaultKind::kCount), "?");
+}
+
+// An IntegrityError is a FaultError (it rides the same resilience path)
+// but carries the detection count the runtime accounts recomputes with.
+TEST(Failure, IntegrityErrorCarriesDetectionCount) {
+  const IntegrityError e(2, 3, "checksum verification failed");
+  EXPECT_EQ(e.kind(), FaultKind::IntegrityError);
+  EXPECT_EQ(e.cluster(), 2);
+  EXPECT_EQ(e.core(), -1);
+  EXPECT_EQ(e.detected(), 3);
+  const FaultError& base = e;  // must be catchable as FaultError
+  EXPECT_EQ(base.kind(), FaultKind::IntegrityError);
 }
 
 }  // namespace
