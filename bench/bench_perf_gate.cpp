@@ -132,7 +132,8 @@ std::vector<GraphRow> run_graph_chains() {
   graph::GraphOptions opt;
   opt.gemm.functional = false;
   std::vector<std::pair<const char*, graph::Graph>> chains;
-  chains.emplace_back("graph:mlp3-1847", make_gate_mlp(1847, {512, 256, 64, 10}));
+  chains.emplace_back("graph:mlp3-1847",
+                      make_gate_mlp(1847, {512, 256, 64, 10}));
   chains.emplace_back("graph:gemm3-384x64", make_gate_gemm3(384, 64, 64));
   chains.emplace_back("graph:conv-48x48x64", make_gate_conv(64, 48, 96));
   std::vector<GraphRow> rows;

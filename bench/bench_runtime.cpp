@@ -152,8 +152,8 @@ SdcPoint run_sdc_point(int requests, double rate, std::uint64_t seed) {
   problems.reserve(static_cast<std::size_t>(requests));
   for (int i = 0; i < requests; ++i) {
     const auto& s = mix[static_cast<std::size_t>(i) % mix.size()];
-    Problem pr{workload::make_problem(s[0], s[1], s[2],
-                                      seed * 10000 + static_cast<std::uint64_t>(i)),
+    const std::uint64_t pseed = seed * 10000 + static_cast<std::uint64_t>(i);
+    Problem pr{workload::make_problem(s[0], s[1], s[2], pseed),
                HostMatrix(s[0], s[1])};
     for (std::size_t r = 0; r < s[0]; ++r) {
       for (std::size_t c = 0; c < s[1]; ++c) {

@@ -158,7 +158,9 @@ std::vector<isa::Bundle> schedule_section(std::span<const Instr> ops,
     place(cycle, in);
 
     const int lat = isa::op_latency(in.op, mc);
-    for (int r : eff.reads) regs[r].last_read = std::max(regs[r].last_read, cycle);
+    for (int r : eff.reads) {
+      regs[r].last_read = std::max(regs[r].last_read, cycle);
+    }
     for (int w : eff.writes) {
       regs[w].write_issue = cycle;
       regs[w].write_ready = cycle + lat;

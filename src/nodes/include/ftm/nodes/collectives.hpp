@@ -1,0 +1,105 @@
+// Ring collectives over the modeled interconnect (ISSUE 9,
+// docs/scaleout.md): broadcast, reduce-scatter, allgather, allreduce.
+//
+// Each collective does two things at once:
+//
+//  * cost accounting — it schedules every constituent transfer on the
+//    Interconnect's per-link busy clocks and advances the participating
+//    nodes' clocks, so the cycle cost of a collective reflects link
+//    serialization, multi-hop routes, and stragglers (a group member
+//    whose clock is behind delays the steps it participates in);
+//  * data movement — when a buffer set is supplied, the same schedule is
+//    executed functionally on host FP32 buffers (reduce-scatter really
+//    sums, allgather really copies), so the algorithms are testable
+//    against a reference reduction at any group size, including
+//    non-powers of two.
+//
+// Pass `data == nullptr` for cost-only accounting (timing-only GEMMs).
+//
+// Algorithms (P = group size, B = buffer bytes):
+//  * broadcast: unpipelined ring relay, P-1 sequential full-payload hops;
+//  * reduce-scatter: the classic P-1 step ring; in step s, rank i sends
+//    chunk (i - s) mod P to rank i+1, which accumulates it. Chunk c ends
+//    fully reduced on rank (c + P - 1) mod P, each rank having moved
+//    ~B/P bytes per step;
+//  * allgather: the mirror-image ring, same traffic, copies instead of
+//    adds; * allreduce: reduce-scatter followed by allgather (2(P-1)
+//    steps, 2B(P-1)/P bytes per rank — the bandwidth-optimal ring).
+//
+// FP note: a ring reduction's accumulation order depends on the ring
+// positions, so reduce_scatter/allreduce results are deterministic for a
+// fixed group but not bitwise identical across different group sizes.
+// The GEMM sharder (scaleout.hpp) therefore folds K-panel partials in a
+// canonical panel order and uses these collectives for cost accounting —
+// see docs/scaleout.md "Determinism".
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ftm/nodes/interconnect.hpp"
+
+namespace ftm::nodes {
+
+/// An ordered subset of nodes participating in one collective; the vector
+/// order *is* the ring order (rank r's neighbor is rank (r+1) % P).
+struct Group {
+  std::vector<int> ranks;  ///< physical node ids
+
+  int size() const { return static_cast<int>(ranks.size()); }
+};
+
+/// What one collective cost. `finish` is the max participant clock after
+/// the collective; `link_bytes` counts every byte put on a link (so a
+/// broadcast of B bytes to P-1 peers reports (P-1)*B).
+struct CollectiveResult {
+  std::uint64_t finish = 0;
+  std::uint64_t link_bytes = 0;
+  std::uint64_t steps = 0;
+};
+
+/// One FP32 buffer per group rank (rank order, equal lengths). For
+/// reduce_scatter/allreduce these are the per-rank partial vectors; for
+/// broadcast only data[root_rank] is read.
+using BufferSet = std::vector<std::span<float>>;
+
+/// Rank that owns fully-reduced chunk `chunk` after ring_reduce_scatter.
+int reduce_scatter_owner(int group_size, int chunk);
+
+/// Ring relay broadcast of `bytes` from `root_rank` (an index into
+/// g.ranks) to every other member. Advances `clocks` (indexed by physical
+/// node id) and the interconnect's link clocks.
+CollectiveResult ring_broadcast(Interconnect& net,
+                                std::span<std::uint64_t> clocks,
+                                const Group& g, int root_rank,
+                                std::uint64_t bytes,
+                                const BufferSet* data = nullptr);
+
+/// Ring reduce-scatter over a logical buffer of `bytes` (must be a
+/// multiple of 4: FP32 chunk arithmetic). After the call, rank r's buffer
+/// holds the fully reduced chunk reduce_scatter_owner^-1(r); other chunk
+/// regions hold partial sums (exactly as the real algorithm leaves them).
+CollectiveResult ring_reduce_scatter(Interconnect& net,
+                                     std::span<std::uint64_t> clocks,
+                                     const Group& g, std::uint64_t bytes,
+                                     const BufferSet* data = nullptr);
+
+/// Ring allgather: every rank ends holding every chunk. `chunk_of_rank`
+/// maps rank -> the chunk it initially owns; pass nullptr for the
+/// identity mapping (standalone allgather).
+CollectiveResult ring_allgather(Interconnect& net,
+                                std::span<std::uint64_t> clocks,
+                                const Group& g, std::uint64_t bytes,
+                                const BufferSet* data = nullptr,
+                                const std::vector<int>* chunk_of_rank =
+                                    nullptr);
+
+/// Ring allreduce = reduce-scatter + allgather. Functionally, every
+/// rank's buffer ends holding the elementwise sum over all ranks.
+CollectiveResult ring_allreduce(Interconnect& net,
+                                std::span<std::uint64_t> clocks,
+                                const Group& g, std::uint64_t bytes,
+                                const BufferSet* data = nullptr);
+
+}  // namespace ftm::nodes

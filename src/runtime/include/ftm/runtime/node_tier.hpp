@@ -1,0 +1,36 @@
+// Multi-node dispatch tier interface (ISSUE 9, docs/scaleout.md).
+//
+// The scale-out layer (src/nodes/) shards one very large GEMM across N
+// modeled FT-m7032 processors joined by a cost-modeled interconnect. The
+// runtime stays ignorant of how: like core::PlanProvider, the interface
+// lives on the runtime side so src/runtime never depends on src/nodes.
+// Install an implementation via RuntimeOptions::nodes and submissions at
+// or above RuntimeOptions::node_problem_flops dispatch through it instead
+// of the single-processor cluster/split paths.
+//
+// Contract: run() either returns a completed GemmResult (cycles in the
+// node layer's own clock domain — they are *not* charged to the host
+// runtime's cluster lanes) or throws. A thrown ftm::FaultError is
+// transient (e.g. every node dead) and flows through the runtime's normal
+// resilience path — bounded retries, then host-CPU fallback — so a
+// node-tier future still always resolves. run() may be called from any
+// worker thread; implementations serialize internally if they must.
+#pragma once
+
+#include "ftm/core/types.hpp"
+
+namespace ftm::runtime {
+
+class NodeTier {
+ public:
+  virtual ~NodeTier() = default;
+
+  /// Executes one GEMM across the node grid.
+  virtual core::GemmResult run(const core::GemmInput& in,
+                               const core::FtimmOptions& opt) = 0;
+
+  /// Total nodes in the grid (dead or alive), for reporting.
+  virtual int nodes() const = 0;
+};
+
+}  // namespace ftm::runtime

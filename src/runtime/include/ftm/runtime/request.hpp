@@ -87,6 +87,10 @@ struct Request {
   /// already staged the same A/B panel on the target cluster. Cleared on
   /// retry (a re-dispatch lands on a different cluster).
   std::uint64_t reuse_panel_bytes = 0;
+  /// Dispatch through RuntimeOptions::nodes (ISSUE 9): the whole problem
+  /// runs on the node tier's grid; lane clocks are not charged (the node
+  /// layer keeps its own clock domain) and retries re-enter the tier.
+  bool node_tier = false;
   // Resilience bookkeeping (ISSUE 3).
   int attempts = 0;          ///< dispatches so far (1 = first execution)
   std::vector<int> tried;    ///< clusters that faulted on this request

@@ -68,6 +68,8 @@
 
 namespace ftm::runtime {
 
+class NodeTier;  // node_tier.hpp — multi-node scale-out hook (ISSUE 9)
+
 /// Self-healing knobs (all inert unless `enabled`). See
 /// docs/robustness.md for the retry/quarantine state machine and the
 /// deadline semantics.
@@ -152,6 +154,18 @@ struct RuntimeOptions {
   /// pool, the pre-engine behavior). Never affects simulated cycles. A
   /// request whose FtimmOptions already carry a host_pool keeps it.
   int host_threads = 0;
+  /// Multi-node scale-out tier (ISSUE 9, docs/scaleout.md): when set, a
+  /// submission of at least node_problem_flops dispatches through this
+  /// tier (one sharded GEMM across a grid of modeled processors) instead
+  /// of the single-processor cluster/split paths. A FaultError thrown by
+  /// the tier (e.g. every node dead) flows through the normal resilience
+  /// path: retries, then host-CPU fallback. Shared so several runtimes
+  /// can front one node grid.
+  std::shared_ptr<NodeTier> nodes;
+  /// Flops at or above which a submission goes to the node tier. The
+  /// default (~8.6 GFlop, 33x the wide-problem bar) keeps everything a
+  /// single simulated processor handles well off the interconnect.
+  double node_problem_flops = 8.0 * 1024 * 1024 * 1024;
 };
 
 /// Result of run_all(): the simulated makespan of a whole batch.
@@ -369,6 +383,7 @@ class GemmRuntime {
   std::uint64_t sdc_detected_ = 0;
   std::uint64_t sdc_corrected_ = 0;
   std::uint64_t recomputed_shards_ = 0;
+  std::uint64_t node_dispatches_ = 0;
   /// EWMA of successful execution cycles per shape class — the execution
   /// estimate of deadline admission (predict_latency_cycles).
   std::map<tune::ShapeClass, double> class_cycles_;

@@ -39,6 +39,7 @@ struct RequestStats {
   Priority priority = Priority::Normal;
   std::uint64_t arrival_cycle = 0;  ///< virtual arrival (QosOptions)
   std::uint64_t finish_cycle = 0;   ///< lane clock when the dispatch ended
+  bool node_dispatch = false;       ///< ran on the node tier (ISSUE 9)
   bool batched = false;             ///< dispatched as a batch member
   std::uint64_t batch_id = 0;       ///< flush order, 1-based; 0 = none
   int batch_size = 0;               ///< members in its batch at flush
@@ -82,8 +83,11 @@ struct RuntimeStats {
   std::uint64_t sdc_detected = 0;
   std::uint64_t sdc_corrected = 0;
   std::uint64_t recomputed_shards = 0;
+  /// Dispatches routed to the node tier (RuntimeOptions::nodes, ISSUE 9).
+  std::uint64_t node_dispatches = 0;
   std::vector<std::uint64_t> cluster_requests;     ///< dispatches per cluster
-  std::vector<std::uint64_t> cluster_busy_cycles;  ///< max lane clock per cluster
+  /// Max lane clock per cluster.
+  std::vector<std::uint64_t> cluster_busy_cycles;
   // Per-cluster health (circuit breaker) state.
   std::vector<std::uint64_t> cluster_failures;     ///< faults charged to it
   std::vector<std::uint64_t> cluster_quarantines;  ///< times quarantined

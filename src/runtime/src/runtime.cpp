@@ -9,6 +9,7 @@
 #include <tuple>
 
 #include "ftm/cpu/cpu_gemm.hpp"
+#include "ftm/runtime/node_tier.hpp"
 #include "ftm/trace/trace.hpp"
 #include "ftm/util/stats.hpp"
 
@@ -99,10 +100,9 @@ std::unique_ptr<Request> RequestQueue::pop(int cluster, bool allow_steal,
   }
 }
 
-RequestQueue::PopResult RequestQueue::pop_wait(int cluster, bool allow_steal,
-                                               std::chrono::milliseconds timeout,
-                                               std::unique_ptr<Request>* out,
-                                               bool* stolen) {
+RequestQueue::PopResult RequestQueue::pop_wait(
+    int cluster, bool allow_steal, std::chrono::milliseconds timeout,
+    std::unique_ptr<Request>* out, bool* stolen) {
   std::unique_lock<std::mutex> lock(mu_);
   const auto deadline = std::chrono::steady_clock::now() + timeout;
   for (;;) {
@@ -514,6 +514,28 @@ SubmitResult GemmRuntime::try_submit(const core::GemmInput& in,
     return sr;
   }
   SubmitResult sr;
+  // Node-tier intercept (ISSUE 9): problems at node scale bypass both
+  // wide-splitting and batching — the tier owns sharding. The request
+  // still flows through a worker queue so ordering, stats, resilience
+  // (retry -> CPU fallback) and future semantics are unchanged.
+  if (ro_.nodes != nullptr && in.flops() >= ro_.node_problem_flops) {
+    auto r = make_request(in, opt);
+    r->priority = qos.priority;
+    r->arrival_cycle = qos.arrival_cycle;
+    r->opt.integrity = effective_integrity(opt, qos);
+    r->cls = tune::ShapeClass::of(in.m, in.n, in.k, opt.cores);
+    r->node_tier = true;
+    sr.future = r->promise.get_future();
+    {
+      const std::lock_guard<std::mutex> lock(stats_mu_);
+      ++submitted_;
+    }
+    FTM_TRACE_COUNTER("runtime.submitted", 1);
+    r->bound_cluster = queue_.least_loaded();
+    const int target = r->bound_cluster;
+    queue_.push(target, std::move(r), qos.priority == Priority::Latency);
+    return sr;
+  }
   if (ro_.split_wide && clusters() > 1 &&
       in.flops() >= opt.wide_problem_flops &&
       in.m >= 2 * ro_.split_min_rows) {
@@ -749,6 +771,18 @@ void GemmRuntime::dispatch_batch(Batcher::Flush flush) {
 
 core::GemmResult GemmRuntime::run_on_cluster(int cluster, Request& req,
                                              RequestStats& rs) {
+  if (req.node_tier) {
+    // Node-tier dispatch (ISSUE 9): the whole problem runs on the grid
+    // of modeled processors; no plan-cache probe here — each node's own
+    // runtime keeps its own cache.
+    rs.node_dispatch = true;
+    {
+      const std::lock_guard<std::mutex> lock(stats_mu_);
+      ++node_dispatches_;
+    }
+    FTM_TRACE_COUNTER("runtime.node_dispatches", 1);
+    return ro_.nodes->run(req.in, req.opt);
+  }
   ClusterState& cs = clusters_[static_cast<std::size_t>(cluster)];
   core::GemmPlan plan;
   if (req.preplanned != nullptr) {
@@ -925,12 +959,20 @@ void GemmRuntime::process(int cluster, std::unique_ptr<Request> req,
     ++cs.requests;
     if (stolen) ++steals_;
     if (ok) {
-      rs.finish_cycle = charge_lanes(cs, *req, result.cycles);
-      // Per-shape-class EWMA of successful execution cycles; the deadline
-      // admission's execution estimate (predict_latency_cycles).
-      double& e = class_cycles_[req->cls];
-      e = e == 0 ? static_cast<double>(result.cycles)
-                 : 0.7 * e + 0.3 * static_cast<double>(result.cycles);
+      if (req->node_tier) {
+        // Node-tier cycles live in the node layer's clock domain: do not
+        // charge host-cluster lanes, and keep them out of the per-class
+        // EWMA that predicts *cluster* latency for admission.
+        rs.finish_cycle = req->arrival_cycle + result.cycles;
+      } else {
+        rs.finish_cycle = charge_lanes(cs, *req, result.cycles);
+        // Per-shape-class EWMA of successful execution cycles; the
+        // deadline admission's execution estimate
+        // (predict_latency_cycles).
+        double& e = class_cycles_[req->cls];
+        e = e == 0 ? static_cast<double>(result.cycles)
+                   : 0.7 * e + 0.3 * static_cast<double>(result.cycles);
+      }
     }
   }
   if (ok) {
@@ -1460,6 +1502,7 @@ RuntimeStats GemmRuntime::stats() const {
   s.sdc_detected = sdc_detected_;
   s.sdc_corrected = sdc_corrected_;
   s.recomputed_shards = recomputed_shards_;
+  s.node_dispatches = node_dispatches_;
   for (const auto& cs : clusters_) {
     s.cluster_requests.push_back(cs.requests);
     std::uint64_t mk = 0;

@@ -12,7 +12,8 @@ namespace ftm {
 /// Thrown when a precondition, postcondition, or internal invariant fails.
 class ContractViolation : public std::logic_error {
  public:
-  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+  explicit ContractViolation(const std::string& what)
+      : std::logic_error(what) {}
 };
 
 namespace detail {

@@ -142,7 +142,9 @@ class HostMatrix {
 
  private:
   struct AlignedDeleter {
-    void operator()(float* p) const { ::operator delete[](p, std::align_val_t{64}); }
+    void operator()(float* p) const {
+      ::operator delete[](p, std::align_val_t{64});
+    }
   };
   std::unique_ptr<float[], AlignedDeleter> data_;
   std::size_t rows_ = 0, cols_ = 0;

@@ -32,7 +32,8 @@ std::string Cli::get(const std::string& name, const std::string& def) const {
 
 long long Cli::get_int(const std::string& name, long long def) const {
   const auto it = flags_.find(name);
-  return it == flags_.end() ? def : std::strtoll(it->second.c_str(), nullptr, 10);
+  return it == flags_.end() ? def
+                            : std::strtoll(it->second.c_str(), nullptr, 10);
 }
 
 double Cli::get_double(const std::string& name, double def) const {

@@ -234,9 +234,8 @@ TEST(Chaos, ExhaustedRetriesFailTypedAndRestoreC) {
   }
   for (int i = 0; i < 8; ++i) {
     EXPECT_THROW(futs[static_cast<std::size_t>(i)].get(), FaultError);
-    EXPECT_EQ(count_mismatches(problems[static_cast<std::size_t>(i)].p.c.view(),
-                               problems[static_cast<std::size_t>(i)].original.view()),
-              0u)
+    const auto& pi = problems[static_cast<std::size_t>(i)];
+    EXPECT_EQ(count_mismatches(pi.p.c.view(), pi.original.view()), 0u)
         << "request " << i;
   }
   const RuntimeStats s = rt.stats();

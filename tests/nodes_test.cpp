@@ -1,0 +1,422 @@
+// Multi-node scale-out layer (ISSUE 9, docs/scaleout.md): interconnect
+// cost model, ring collectives vs a reference reduction (including
+// non-power-of-two groups), the 2-D sharder's bit-identity guarantee,
+// node-death re-sharding, and the NodeTier hook through the runtime.
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ftm/nodes/collectives.hpp"
+#include "ftm/nodes/interconnect.hpp"
+#include "ftm/nodes/scaleout.hpp"
+#include "ftm/runtime/runtime.hpp"
+#include "ftm/workload/generators.hpp"
+
+using namespace ftm;
+using core::FtimmOptions;
+using core::GemmInput;
+
+namespace {
+
+/// Host reference C += A*B with double accumulation.
+void reference_gemm(const workload::GemmProblem& p, MatrixView c) {
+  for (std::size_t i = 0; i < p.m; ++i) {
+    for (std::size_t j = 0; j < p.n; ++j) {
+      double acc = c(i, j);
+      for (std::size_t l = 0; l < p.k; ++l) {
+        acc += static_cast<double>(p.a.at(i, l)) *
+               static_cast<double>(p.b.at(l, j));
+      }
+      c(i, j) = static_cast<float>(acc);
+    }
+  }
+}
+
+/// BufferSet over per-rank vectors (equal lengths).
+nodes::BufferSet views(std::vector<std::vector<float>>& bufs) {
+  nodes::BufferSet s;
+  for (auto& b : bufs) s.emplace_back(b.data(), b.size());
+  return s;
+}
+
+nodes::Group group_of(int p) {
+  nodes::Group g;
+  g.ranks.resize(static_cast<std::size_t>(p));
+  std::iota(g.ranks.begin(), g.ranks.end(), 0);
+  return g;
+}
+
+}  // namespace
+
+// ---- interconnect -------------------------------------------------------
+
+TEST(Interconnect, AlphaBetaHopCost) {
+  nodes::LinkConfig link;
+  link.bytes_per_cycle = 16.0;
+  link.latency_cycles = 100;
+  nodes::Interconnect net(4, nodes::Topology::Ring, link);
+  EXPECT_EQ(net.hop_cost(0), 100u);
+  EXPECT_EQ(net.hop_cost(16), 101u);
+  EXPECT_EQ(net.hop_cost(17), 102u);  // partial beat rounds up
+}
+
+TEST(Interconnect, RingHopsTakeShorterDirection) {
+  nodes::Interconnect net(6, nodes::Topology::Ring, {});
+  EXPECT_EQ(net.hops(0, 0), 0);
+  EXPECT_EQ(net.hops(0, 1), 1);
+  EXPECT_EQ(net.hops(0, 5), 1);  // backward is shorter
+  EXPECT_EQ(net.hops(0, 3), 3);  // antipode
+  nodes::Interconnect mesh(6, nodes::Topology::FullMesh, {});
+  EXPECT_EQ(mesh.hops(0, 3), 1);
+}
+
+TEST(Interconnect, SharedLinkSerializesTransfers) {
+  nodes::LinkConfig link;
+  link.bytes_per_cycle = 1.0;
+  link.latency_cycles = 10;
+  nodes::Interconnect net(4, nodes::Topology::Ring, link);
+  const std::uint64_t t1 = net.send(0, 1, 100, 0);
+  EXPECT_EQ(t1, 110u);
+  // Same directed link, same start: must queue behind the first.
+  const std::uint64_t t2 = net.send(0, 1, 100, 0);
+  EXPECT_EQ(t2, 220u);
+  // Disjoint link: no interference.
+  EXPECT_EQ(net.send(2, 3, 100, 0), 110u);
+  // Multi-hop (0 -> 1 -> 2) store-and-forward: the 0->1 link is busy
+  // until 220, then two hops of 110 each.
+  EXPECT_EQ(net.send(0, 2, 100, 0), 440u);
+  EXPECT_EQ(net.total_transfers(), 4u);
+}
+
+// ---- collectives --------------------------------------------------------
+
+TEST(Collectives, BroadcastRelaysDataAroundRing) {
+  nodes::Interconnect net(5, nodes::Topology::Ring, {});
+  std::vector<std::uint64_t> clocks(5, 0);
+  std::vector<std::vector<float>> bufs(5, std::vector<float>(8, 0.0f));
+  for (std::size_t i = 0; i < 8; ++i) bufs[2][i] = static_cast<float>(i);
+  nodes::BufferSet data = views(bufs);
+  const nodes::Group g = group_of(5);
+  const auto r = nodes::ring_broadcast(net, clocks, g, 2, 32, &data);
+  EXPECT_EQ(r.steps, 4u);
+  EXPECT_EQ(r.link_bytes, 4u * 32u);
+  EXPECT_GT(r.finish, 0u);
+  for (const auto& b : bufs) EXPECT_EQ(b, bufs[2]);
+}
+
+TEST(Collectives, ReduceScatterMatchesReferenceNonPowerOfTwo) {
+  for (const int p : {3, 5, 7}) {
+    nodes::Interconnect net(p, nodes::Topology::Ring, {});
+    std::vector<std::uint64_t> clocks(static_cast<std::size_t>(p), 0);
+    const std::size_t elems = static_cast<std::size_t>(4 * p);
+    std::vector<std::vector<float>> bufs;
+    for (int r = 0; r < p; ++r) {
+      std::vector<float> b(elems);
+      for (std::size_t e = 0; e < elems; ++e) {
+        b[e] = static_cast<float>(r + 1) * 0.25f + static_cast<float>(e);
+      }
+      bufs.push_back(std::move(b));
+    }
+    std::vector<float> expect(elems, 0.0f);
+    for (const auto& b : bufs) {
+      for (std::size_t e = 0; e < elems; ++e) expect[e] += b[e];
+    }
+    nodes::BufferSet data = views(bufs);
+    const nodes::Group g = group_of(p);
+    const auto r =
+        nodes::ring_reduce_scatter(net, clocks, g, elems * 4, &data);
+    EXPECT_EQ(r.steps, static_cast<std::uint64_t>(p - 1));
+    // Chunk c (elems/p elements each) is fully reduced on its owner.
+    const std::size_t per = elems / static_cast<std::size_t>(p);
+    for (int c = 0; c < p; ++c) {
+      const int owner = nodes::reduce_scatter_owner(p, c);
+      for (std::size_t e = 0; e < per; ++e) {
+        const std::size_t idx = static_cast<std::size_t>(c) * per + e;
+        EXPECT_NEAR(bufs[static_cast<std::size_t>(owner)][idx],
+                    expect[idx], 1e-3f)
+            << "p=" << p << " chunk=" << c << " elem=" << e;
+      }
+    }
+  }
+}
+
+TEST(Collectives, AllgatherDistributesEveryChunk) {
+  const int p = 5;
+  nodes::Interconnect net(p, nodes::Topology::Ring, {});
+  std::vector<std::uint64_t> clocks(static_cast<std::size_t>(p), 0);
+  const std::size_t elems = 20;
+  const std::size_t per = elems / static_cast<std::size_t>(p);
+  std::vector<std::vector<float>> bufs(
+      static_cast<std::size_t>(p), std::vector<float>(elems, 0.0f));
+  for (int r = 0; r < p; ++r) {  // rank r starts holding only chunk r
+    for (std::size_t e = 0; e < per; ++e) {
+      bufs[static_cast<std::size_t>(r)][static_cast<std::size_t>(r) * per +
+                                        e] = static_cast<float>(r + 1);
+    }
+  }
+  nodes::BufferSet data = views(bufs);
+  const auto r =
+      nodes::ring_allgather(net, clocks, group_of(p), elems * 4, &data);
+  EXPECT_EQ(r.steps, static_cast<std::uint64_t>(p - 1));
+  for (const auto& b : bufs) {
+    for (int c = 0; c < p; ++c) {
+      for (std::size_t e = 0; e < per; ++e) {
+        EXPECT_EQ(b[static_cast<std::size_t>(c) * per + e],
+                  static_cast<float>(c + 1));
+      }
+    }
+  }
+}
+
+TEST(Collectives, AllreduceSumsEverywhereNonPowerOfTwo) {
+  for (const int p : {2, 3, 5}) {
+    nodes::Interconnect net(p, nodes::Topology::Ring, {});
+    std::vector<std::uint64_t> clocks(static_cast<std::size_t>(p), 0);
+    const std::size_t elems = static_cast<std::size_t>(6 * p);
+    std::vector<std::vector<float>> bufs;
+    for (int r = 0; r < p; ++r) {
+      std::vector<float> b(elems);
+      for (std::size_t e = 0; e < elems; ++e) {
+        b[e] = static_cast<float>((r + 1) * 100) + static_cast<float>(e);
+      }
+      bufs.push_back(std::move(b));
+    }
+    std::vector<float> expect(elems, 0.0f);
+    for (const auto& b : bufs) {
+      for (std::size_t e = 0; e < elems; ++e) expect[e] += b[e];
+    }
+    nodes::BufferSet data = views(bufs);
+    const auto r =
+        nodes::ring_allreduce(net, clocks, group_of(p), elems * 4, &data);
+    EXPECT_EQ(r.steps, static_cast<std::uint64_t>(2 * (p - 1)));
+    for (const auto& b : bufs) {
+      for (std::size_t e = 0; e < elems; ++e) {
+        EXPECT_NEAR(b[e], expect[e], 1e-2f) << "p=" << p;
+      }
+    }
+  }
+}
+
+TEST(Collectives, StragglerDelaysGroup) {
+  nodes::Interconnect net(3, nodes::Topology::Ring, {});
+  std::vector<std::uint64_t> clocks = {0, 500000, 0};
+  const auto r =
+      nodes::ring_allreduce(net, clocks, group_of(3), 1024);
+  EXPECT_GT(r.finish, 500000u);  // the late member gates completion
+}
+
+// ---- sharder ------------------------------------------------------------
+
+namespace {
+
+nodes::NodeOptions small_options(int n) {
+  nodes::NodeOptions no;
+  no.nodes = n;
+  no.m_tile_rows = 32;
+  no.k_panel = 48;
+  no.runtime.clusters = 2;
+  return no;
+}
+
+}  // namespace
+
+TEST(NodeCluster, BitIdenticalAcrossNodeCounts) {
+  // Multi-tile canonical grid (Tm=3, Tk=3), node counts including
+  // non-powers of two: every C must be byte-identical to the 1-node C.
+  const workload::GemmProblem p = workload::make_problem(96, 16, 144);
+  std::vector<float> c1;
+  for (const int n : {1, 2, 3, 5}) {
+    HostMatrix c(p.m, p.n);
+    std::copy(p.c.data(), p.c.data() + c.size(), c.data());
+    nodes::NodeCluster nc(small_options(n));
+    const nodes::NodeResult r =
+        nc.gemm(GemmInput::bound(p.a.view(), p.b.view(), c.view()));
+    EXPECT_EQ(r.tiles, 9);
+    EXPECT_GT(r.cycles, 0u);
+    if (n == 1) {
+      c1.assign(c.data(), c.data() + c.size());
+      HostMatrix ref(p.m, p.n);
+      std::copy(p.c.data(), p.c.data() + ref.size(), ref.data());
+      reference_gemm(p, ref.view());
+      EXPECT_LE(max_rel_diff(c.view(), ref.view()), gemm_tolerance(p.k));
+    } else {
+      EXPECT_EQ(std::memcmp(c1.data(), c.data(),
+                            c1.size() * sizeof(float)),
+                0)
+          << "nodes=" << n;
+    }
+  }
+}
+
+TEST(NodeCluster, AutoGridPrefersLessReduction) {
+  // Tm=3, Tk=1: only the M dimension can shard; Q must stay 1 and the
+  // grid must not exceed the tile counts.
+  nodes::NodeOptions no = small_options(4);
+  nodes::NodeCluster nc(no);
+  const nodes::NodeResult r = nc.gemm(GemmInput::shape_only(96, 16, 48));
+  EXPECT_EQ(r.grid_p, 3);
+  EXPECT_EQ(r.grid_q, 1);
+  EXPECT_EQ(r.reduce_cycles, 0u);
+}
+
+TEST(NodeCluster, ComputeCyclesMonotoneInNodes) {
+  std::uint64_t prev = 0;
+  bool first = true;
+  for (const int n : {1, 2, 4}) {
+    nodes::NodeOptions no = small_options(n);
+    no.model_input_distribution = false;
+    no.runtime.gemm.functional = false;
+    nodes::NodeCluster nc(no);
+    const nodes::NodeResult r =
+        nc.gemm(GemmInput::shape_only(256, 16, 96));
+    if (!first) {
+      EXPECT_LE(r.compute_cycles, prev);
+    }
+    prev = r.compute_cycles;
+    first = false;
+  }
+}
+
+TEST(NodeCluster, InputDistributionChargesLinks) {
+  nodes::NodeOptions no = small_options(4);
+  no.runtime.gemm.functional = false;
+  nodes::NodeCluster nc(no);
+  const nodes::NodeResult r = nc.gemm(GemmInput::shape_only(96, 16, 144));
+  EXPECT_GT(r.input_cycles, 0u);
+  EXPECT_GT(r.link_bytes, 0u);
+  EXPECT_GT(nc.interconnect().total_transfers(), 0u);
+}
+
+TEST(NodeCluster, KilledNodeExcludedAndBitsUnchanged) {
+  const workload::GemmProblem p = workload::make_problem(96, 16, 144);
+  HostMatrix c1(p.m, p.n);
+  std::copy(p.c.data(), p.c.data() + c1.size(), c1.data());
+  {
+    nodes::NodeCluster nc(small_options(1));
+    nc.gemm(GemmInput::bound(p.a.view(), p.b.view(), c1.view()));
+  }
+  nodes::NodeCluster nc(small_options(3));
+  nc.kill_node(1);
+  EXPECT_EQ(nc.alive_nodes(), 2);
+  HostMatrix c(p.m, p.n);
+  std::copy(p.c.data(), p.c.data() + c.size(), c.data());
+  const nodes::NodeResult r =
+      nc.gemm(GemmInput::bound(p.a.view(), p.b.view(), c.view()));
+  EXPECT_LE(r.grid_p * r.grid_q, 2);  // grid never includes the corpse
+  EXPECT_EQ(std::memcmp(c1.data(), c.data(), c1.size() * sizeof(float)),
+            0);
+}
+
+TEST(NodeCluster, NodeDeathMidGemmReshardsOntoSurvivors) {
+  // Node 0's simulated clusters are all dead: its run_all faults, the
+  // sharder must mark it dead, re-shard its cells onto the survivors,
+  // and still deliver the bit-identical C.
+  const workload::GemmProblem p = workload::make_problem(96, 16, 144);
+  HostMatrix c1(p.m, p.n);
+  std::copy(p.c.data(), p.c.data() + c1.size(), c1.data());
+  {
+    nodes::NodeCluster nc(small_options(1));
+    nc.gemm(GemmInput::bound(p.a.view(), p.b.view(), c1.view()));
+  }
+  fault::FaultPlan plan;
+  for (int cl = 0; cl < 2; ++cl) plan.cluster(cl).dead = true;
+  fault::FaultInjector dead_node(plan);
+  nodes::NodeOptions no = small_options(3);
+  no.fault_injectors = {&dead_node, nullptr, nullptr};
+  nodes::NodeCluster nc(no);
+  HostMatrix c(p.m, p.n);
+  std::copy(p.c.data(), p.c.data() + c.size(), c.data());
+  const nodes::NodeResult r =
+      nc.gemm(GemmInput::bound(p.a.view(), p.b.view(), c.view()));
+  EXPECT_EQ(r.node_deaths, 1);
+  EXPECT_GT(r.resharded_tiles, 0);
+  EXPECT_FALSE(nc.alive(0));
+  EXPECT_TRUE(nc.alive(1));
+  EXPECT_EQ(std::memcmp(c1.data(), c.data(), c1.size() * sizeof(float)),
+            0);
+  // The next GEMM skips the corpse from the start: no further deaths.
+  HostMatrix c2(p.m, p.n);
+  std::copy(p.c.data(), p.c.data() + c2.size(), c2.data());
+  const nodes::NodeResult r2 =
+      nc.gemm(GemmInput::bound(p.a.view(), p.b.view(), c2.view()));
+  EXPECT_EQ(r2.node_deaths, 0);
+  EXPECT_EQ(std::memcmp(c1.data(), c2.data(), c1.size() * sizeof(float)),
+            0);
+}
+
+TEST(NodeCluster, EveryNodeDeadThrowsClusterDead) {
+  nodes::NodeCluster nc(small_options(2));
+  nc.kill_node(0);
+  nc.kill_node(1);
+  try {
+    nc.gemm(GemmInput::shape_only(96, 16, 48));
+    FAIL() << "expected FaultError";
+  } catch (const FaultError& e) {
+    EXPECT_EQ(e.kind(), FaultKind::ClusterDead);
+  }
+}
+
+TEST(NodeCluster, ReportCoversEveryNode) {
+  nodes::NodeCluster nc(small_options(3));
+  nc.gemm(GemmInput::shape_only(96, 16, 144));
+  EXPECT_EQ(nc.report().row_count(), 3u);
+}
+
+// ---- NodeTier through the runtime ---------------------------------------
+
+TEST(NodeTier, RuntimeRoutesLargeProblemsToNodes) {
+  const workload::GemmProblem p = workload::make_problem(96, 16, 144);
+  HostMatrix ref(p.m, p.n);
+  std::copy(p.c.data(), p.c.data() + ref.size(), ref.data());
+  reference_gemm(p, ref.view());
+
+  runtime::RuntimeOptions ro;
+  ro.clusters = 2;
+  ro.nodes = std::make_shared<nodes::NodeCluster>(small_options(3));
+  ro.node_problem_flops = 1e5;  // 96x16x144 is ~4.4e5 flops: node scale
+  runtime::GemmRuntime rt(ro);
+
+  HostMatrix c(p.m, p.n);
+  std::copy(p.c.data(), p.c.data() + c.size(), c.data());
+  const core::GemmResult r =
+      rt.submit(GemmInput::bound(p.a.view(), p.b.view(), c.view())).get();
+  EXPECT_GT(r.cycles, 0u);
+  EXPECT_FALSE(r.cpu_fallback);
+  EXPECT_LE(max_rel_diff(c.view(), ref.view()), gemm_tolerance(p.k));
+  EXPECT_EQ(rt.stats().node_dispatches, 1u);
+  const auto log = rt.request_log();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_TRUE(log[0].node_dispatch);
+
+  // A sub-threshold problem stays on the local clusters.
+  core::FtimmOptions timing;
+  timing.functional = false;
+  rt.submit(GemmInput::shape_only(8, 8, 8), timing).get();
+  EXPECT_EQ(rt.stats().node_dispatches, 1u);
+}
+
+TEST(NodeTier, DeadGridFallsBackToHostCpu) {
+  auto grid = std::make_shared<nodes::NodeCluster>(small_options(2));
+  grid->kill_node(0);
+  grid->kill_node(1);
+  runtime::RuntimeOptions ro;
+  ro.clusters = 2;
+  ro.nodes = grid;
+  ro.node_problem_flops = 1e5;
+  ro.resilience.enabled = true;
+  ro.resilience.max_retries = 1;
+  runtime::GemmRuntime rt(ro);
+
+  const workload::GemmProblem p = workload::make_problem(96, 16, 144);
+  HostMatrix ref(p.m, p.n);
+  std::copy(p.c.data(), p.c.data() + ref.size(), ref.data());
+  reference_gemm(p, ref.view());
+  HostMatrix c(p.m, p.n);
+  std::copy(p.c.data(), p.c.data() + c.size(), c.data());
+  const core::GemmResult r =
+      rt.submit(GemmInput::bound(p.a.view(), p.b.view(), c.view())).get();
+  EXPECT_TRUE(r.cpu_fallback);
+  EXPECT_LE(max_rel_diff(c.view(), ref.view()), gemm_tolerance(p.k));
+}
