@@ -1,0 +1,153 @@
+// Mixed-precision extension bench (docs/precision.md): sweeps the paper's
+// shape taxonomy across FP32 / FP16 / BF16 and prints achieved GFlops
+// against the dtype-aware roofline, then runs the Strassen crossover
+// study (square dims vs the best blocked variant).
+//
+//   bench_mixed              # full sweep + crossover table, CSV output
+//   bench_mixed --full       # adds the 32768^3 crossover point (~30 s)
+//   bench_mixed --smoke      # CI invariants:
+//     (a) on compute-bound type-III shapes the half tiers run >= 1.8x the
+//         FP32 FLOP rate (the VFMULAH32 2-way dot doubles the ceiling;
+//         margin below 2.0x absorbs the unchanged fill/drain overhead);
+//     (b) forced Strassen beats the best blocked variant at 16384^3 with
+//         the default cutoff (one recursion level past the crossover).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "ftm/core/ftimm.hpp"
+#include "ftm/core/strassen.hpp"
+#include "ftm/util/cli.hpp"
+#include "ftm/util/reporter.hpp"
+
+using namespace ftm;
+
+namespace {
+
+struct Shape {
+  const char* cls;  // taxonomy class from the paper's §V evaluation
+  std::size_t m, n, k;
+};
+
+const char* dtype_name(kernelgen::DType d) {
+  switch (d) {
+    case kernelgen::DType::F64: return "f64";
+    case kernelgen::DType::F16: return "f16";
+    case kernelgen::DType::BF16: return "bf16";
+    default: return "f32";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  if (cli.has("help")) {
+    std::printf("usage: bench_mixed [--smoke] [--full] [--csv FILE]\n");
+    return 0;
+  }
+  const bool smoke = cli.get_bool("smoke", false);
+  const bool full = cli.get_bool("full", false);
+
+  const auto& mc = isa::default_machine();
+  core::FtimmEngine engine(mc);
+  core::FtimmOptions base;
+  base.functional = false;  // cycle model only; accuracy lives in tests
+
+  // --- Taxonomy x dtype sweep -------------------------------------------
+  const std::vector<Shape> shapes = {
+      {"I", 262144, 32, 32},    {"I", 262144, 64, 64},
+      {"II", 32, 32, 262144},   {"II", 64, 64, 262144},
+      {"III", 4096, 64, 4096},  {"III", 8192, 96, 8192},
+      {"square", 2048, 2048, 2048},
+  };
+  const kernelgen::DType dtypes[] = {
+      kernelgen::DType::F32, kernelgen::DType::F16, kernelgen::DType::BF16};
+
+  Table t({"class", "m", "n", "k", "dtype", "strategy", "cycles", "GFlops",
+           "roofline", "% roof"});
+  // f32 cycles per shape index, then per-half speedups for the smoke gate.
+  std::vector<std::uint64_t> f32_cycles(shapes.size(), 0);
+  bool ok = true;
+  for (std::size_t si = 0; si < shapes.size(); ++si) {
+    const Shape& s = shapes[si];
+    for (const auto dt : dtypes) {
+      core::FtimmOptions opt = base;
+      opt.dtype = dt;
+      const auto in = core::GemmInput::shape_only(s.m, s.n, s.k);
+      const auto r = engine.sgemm(in, opt);
+      const double roof =
+          core::roofline_gflops(s.m, s.n, s.k, opt.cores, mc, dt);
+      t.begin_row()
+          .cell(std::string(s.cls))
+          .cell(s.m)
+          .cell(s.n)
+          .cell(s.k)
+          .cell(std::string(dtype_name(dt)))
+          .cell(std::string(core::to_string(r.strategy)))
+          .cell(static_cast<std::size_t>(r.cycles))
+          .cell(r.gflops, 1)
+          .cell(roof, 1)
+          .cell(100.0 * r.gflops / roof, 1);
+      if (dt == kernelgen::DType::F32) {
+        f32_cycles[si] = r.cycles;
+      } else if (std::string(s.cls) == "III") {
+        // Compute-bound shapes must realize the doubled DOT2 ceiling.
+        const double speedup = static_cast<double>(f32_cycles[si]) /
+                               static_cast<double>(r.cycles);
+        if (smoke && speedup < 1.8) {
+          std::fprintf(stderr,
+                       "smoke: %s %zux%zux%zu only %.2fx over f32 "
+                       "(want >= 1.8x)\n",
+                       dtype_name(dt), s.m, s.n, s.k, speedup);
+          ok = false;
+        }
+      }
+    }
+  }
+  t.print("mixed-precision sweep (timing-only, dtype-aware roofline)");
+
+  // --- Strassen crossover ------------------------------------------------
+  std::vector<std::size_t> dims = smoke ? std::vector<std::size_t>{16384}
+                                        : std::vector<std::size_t>{
+                                              4096, 8192, 16384};
+  if (full && !smoke) dims.push_back(32768);
+  Table st({"d", "blocked cycles", "strassen cycles", "levels", "speedup"});
+  for (const std::size_t d : dims) {
+    const auto in = core::GemmInput::shape_only(d, d, d);
+    const auto rb = engine.sgemm_autotuned(in, base);
+    core::FtimmOptions so = base;
+    so.force = core::Strategy::Strassen;
+    const auto rs = engine.sgemm(in, so);
+    const double speedup =
+        static_cast<double>(rb.cycles) / static_cast<double>(rs.cycles);
+    st.begin_row()
+        .cell(d)
+        .cell(static_cast<std::size_t>(rb.cycles))
+        .cell(static_cast<std::size_t>(rs.cycles))
+        .cell(static_cast<long long>(rs.strassen_levels))
+        .cell(speedup, 3);
+    if (smoke && d >= 16384 && rs.cycles >= rb.cycles) {
+      std::fprintf(stderr,
+                   "smoke: strassen (%llu) did not beat blocked (%llu) "
+                   "at d=%zu\n",
+                   static_cast<unsigned long long>(rs.cycles),
+                   static_cast<unsigned long long>(rb.cycles), d);
+      ok = false;
+    }
+  }
+  st.print("Strassen vs best blocked (default cutoff " +
+           std::to_string(core::kStrassenDefaultCutoff) + ")");
+
+  const std::string csv = cli.get("csv", smoke ? "" : "mixed_precision.csv");
+  if (!csv.empty()) {
+    t.write_csv(csv);
+    std::printf("CSV written to %s\n", csv.c_str());
+  }
+  if (smoke) {
+    if (!ok) return 1;
+    std::printf("smoke: ok (half tier >= 1.8x on type III, strassen wins "
+                "at 16384)\n");
+  }
+  return 0;
+}

@@ -244,6 +244,66 @@ int main(int argc, char** argv) {
   }
   at.print("perf gate: ABFT checksum overhead (informational)");
 
+  // ---- mixed-precision tier + Strassen (ISSUE 10) -----------------------
+  // Gated like the FP32 matrix: the simulator is bit-reproducible, so any
+  // drift in the half-kernel or Strassen cost model fails the external
+  // gate. Half entries cover the compute-bound type-III shapes (where the
+  // DOT2 ceiling shows) plus the regular anchor; the Strassen entry pins
+  // the one-level recursion past the measured crossover.
+  struct MixedRow {
+    Shape s;
+    std::uint64_t f16, bf16;
+    double wall[2];
+  };
+  std::vector<MixedRow> mixed_rows;
+  for (const std::size_t idx : {std::size_t{0}, std::size_t{6},
+                                std::size_t{7}}) {
+    const Shape& s = kShapes[idx];
+    MixedRow r{s, 0, 0, {}};
+    FtimmOptions opt;
+    opt.cores = 8;
+    opt.functional = false;
+    const GemmInput in = GemmInput::shape_only(s.m, s.n, s.k);
+    opt.dtype = kernelgen::DType::F16;
+    const core::GemmResult rf = eng.sgemm(in, opt);
+    r.f16 = rf.cycles;
+    r.wall[0] = rf.host_wall_us;
+    opt.dtype = kernelgen::DType::BF16;
+    const core::GemmResult rb = eng.sgemm(in, opt);
+    r.bf16 = rb.cycles;
+    r.wall[1] = rb.host_wall_us;
+    mixed_rows.push_back(r);
+  }
+  FtimmOptions sopt;
+  sopt.cores = 8;
+  sopt.functional = false;
+  sopt.force = Strategy::Strassen;
+  const Shape strassen_shape{16384, 16384, 16384, false};
+  const core::GemmResult strassen_r = eng.sgemm(
+      GemmInput::shape_only(strassen_shape.m, strassen_shape.n,
+                            strassen_shape.k),
+      sopt);
+  Table mt({"M", "N", "K", "f32 default", "f16", "bf16", "half speedup"});
+  for (const MixedRow& r : mixed_rows) {
+    std::uint64_t def = 0;
+    for (const Row& fr : rows) {
+      if (fr.s.m == r.s.m && fr.s.n == r.s.n && fr.s.k == r.s.k) {
+        def = fr.def;
+      }
+    }
+    mt.begin_row()
+        .cell(r.s.m)
+        .cell(r.s.n)
+        .cell(r.s.k)
+        .cell(static_cast<std::size_t>(def))
+        .cell(static_cast<std::size_t>(r.f16))
+        .cell(static_cast<std::size_t>(r.bf16))
+        .cell(static_cast<double>(def) / static_cast<double>(r.f16), 2);
+  }
+  mt.print("perf gate: mixed-precision tier (strassen@16384^3: " +
+           std::to_string(strassen_r.cycles) + " cycles, " +
+           std::to_string(strassen_r.strassen_levels) + " level)");
+
   const std::vector<GraphRow> graph_rows = run_graph_chains();
   Table gt({"chain", "nodes", "cycles", "DDR KB (planned)", "saved KB"});
   for (const GraphRow& r : graph_rows) {
@@ -295,6 +355,13 @@ int main(int argc, char** argv) {
     emit_named(r.name, "graph", r.result.cycles, r.result.host_wall_us);
     emit_named(r.name, "graph_ddr", r.result.ddr_bytes, 0);
   }
+  // Mixed-precision tier + Strassen: gated (bit-reproducible cycle model).
+  for (const MixedRow& r : mixed_rows) {
+    emit(r.s, "hgemm_f16", r.f16, r.wall[0]);
+    emit(r.s, "hgemm_bf16", r.bf16, r.wall[1]);
+  }
+  emit(strassen_shape, "strassen", strassen_r.cycles,
+       strassen_r.host_wall_us);
   // ABFT overhead, informational: bench_compare.py prints the drift but
   // can never fail on it (checksum-cost-model changes are policy, not
   // regressions; the gated entries above already pin the verify-off
@@ -353,6 +420,32 @@ int main(int argc, char** argv) {
                    ovh, r.s.m, r.s.n, r.s.k);
       ++failures;
     }
+  }
+  for (const MixedRow& r : mixed_rows) {
+    std::uint64_t def = 0;
+    for (const Row& fr : rows) {
+      if (fr.s.m == r.s.m && fr.s.n == r.s.n && fr.s.k == r.s.k) {
+        def = fr.def;
+      }
+    }
+    if (r.f16 >= def || r.bf16 >= def) {
+      std::fprintf(stderr,
+                   "GATE FAIL: half tier not faster than f32 default on "
+                   "%zux%zux%zu\n",
+                   r.s.m, r.s.n, r.s.k);
+      ++failures;
+    }
+    if (r.f16 != r.bf16) {
+      std::fprintf(stderr,
+                   "GATE FAIL: f16/bf16 cycle models diverged on "
+                   "%zux%zux%zu (same ISA ops)\n",
+                   r.s.m, r.s.n, r.s.k);
+      ++failures;
+    }
+  }
+  if (strassen_r.strassen_levels < 1) {
+    std::fprintf(stderr, "GATE FAIL: strassen did not recurse at 16384\n");
+    ++failures;
   }
   if (big_wins < 3) {
     std::fprintf(stderr,

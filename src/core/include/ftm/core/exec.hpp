@@ -57,6 +57,8 @@ class HostExecEngine {
                   const float* b, float* c);
   void kernel_f64(int core, const kernelgen::MicroKernel& uk,
                   const double* a, const double* b, double* c);
+  void kernel_half(int core, const kernelgen::MicroKernel& uk,
+                   const std::uint16_t* a, const std::uint32_t* b, float* c);
   /// Elementwise acc[i] += x[i] on `core`'s queue (reduction merges).
   void add_f32(int core, float* acc, const float* x, std::size_t n);
 
@@ -84,7 +86,7 @@ class HostExecEngine {
  private:
   struct Op {
     enum class Kind : std::uint8_t {
-      Copy, Zero, KernelF32, KernelF64, Add, Corrupt
+      Copy, Zero, KernelF32, KernelF64, KernelHalf, Add, Corrupt
     };
     Kind kind;
     sim::DmaRequest req;                       // Copy/Corrupt

@@ -42,6 +42,8 @@ struct GemmPlan {
   /// DMA buffering depth the plan was tuned with: 0 = follow
   /// FtimmOptions::pingpong, 1 = single-buffered, >= 2 = ping-pong.
   int dma_buffers = 0;
+  /// Recursion cutoff when strategy == Strassen (0 = built-in default).
+  std::size_t strassen_cutoff = 0;
 };
 
 /// Source of pre-computed plans consulted by FtimmEngine::plan before the

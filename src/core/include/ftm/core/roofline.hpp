@@ -6,6 +6,7 @@
 #include <cstddef>
 
 #include "ftm/isa/machine.hpp"
+#include "ftm/kernelgen/spec.hpp"
 
 namespace ftm::core {
 
@@ -18,5 +19,16 @@ double arithmetic_intensity(std::size_t m, std::size_t n, std::size_t k);
 /// min(compute peak of `cores`, AI * DDR bandwidth), in GFlops.
 double roofline_gflops(std::size_t m, std::size_t n, std::size_t k,
                        int cores, const isa::MachineConfig& mc);
+
+/// dtype-aware variants: the half formats move 2-byte A/B operands (C
+/// stays FP32) and double the compute ceiling (VFMULAH32 is a 2-way dot
+/// product); FP64 doubles operand bytes and halves the ceiling.
+double min_ddr_bytes(std::size_t m, std::size_t n, std::size_t k,
+                     kernelgen::DType dtype);
+double arithmetic_intensity(std::size_t m, std::size_t n, std::size_t k,
+                            kernelgen::DType dtype);
+double roofline_gflops(std::size_t m, std::size_t n, std::size_t k,
+                       int cores, const isa::MachineConfig& mc,
+                       kernelgen::DType dtype);
 
 }  // namespace ftm::core

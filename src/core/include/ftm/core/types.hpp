@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <string>
 
+#include "ftm/kernelgen/spec.hpp"
 #include "ftm/util/matrix.hpp"
 
 namespace ftm {
@@ -18,6 +19,10 @@ enum class Strategy {
   TGemm,      ///< Algorithm 1 baseline (N-dimension parallel, fixed blocks)
   ParallelM,  ///< Algorithm 4 (M-dimension parallel, B panel in GSM)
   ParallelK,  ///< Algorithm 5 (K-dimension parallel, GSM reduction)
+  /// Strassen recursion over the blocked FP32 path (extension). Never
+  /// chosen by the analytic dispatcher — only a forced option or a tuned
+  /// plan selects it, so every Auto shape keeps its pre-Strassen cycles.
+  Strassen,
 };
 
 const char* to_string(Strategy s);
@@ -103,6 +108,15 @@ struct FtimmOptions {
   /// ABFT checksum verification (src/abft/). Off by default: the
   /// verify-off path performs no checksum work and charges no cycles.
   IntegrityOptions integrity;
+  /// Compute precision. F32 is the paper's path. F16/BF16 route sgemm()
+  /// through the mixed-precision engine (hgemm.hpp): FP32 views in DDR,
+  /// operands packed to halves outside the timed region, FP32
+  /// accumulation on the DSP. F64 callers use dgemm() directly.
+  kernelgen::DType dtype = kernelgen::DType::F32;
+  /// Strassen recursion cutoff: sub-problems whose max dimension is at or
+  /// below this run the blocked FP32 path. 0 = the built-in default
+  /// (strassen.hpp). Only consulted when Strategy::Strassen executes.
+  std::size_t strassen_cutoff = 0;
 };
 
 /// What a simulated GEMM cost.
@@ -131,6 +145,10 @@ struct GemmResult {
   /// Simulated cycles charged for the checksum FLOPs/DMA; already
   /// included in `cycles`.
   std::uint64_t checksum_cycles = 0;
+  /// Compute precision this result was produced with.
+  kernelgen::DType dtype = kernelgen::DType::F32;
+  /// Strassen recursion depth actually taken (0 = no Strassen level).
+  int strassen_levels = 0;
 };
 
 }  // namespace ftm::core

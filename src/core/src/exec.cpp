@@ -39,6 +39,11 @@ void HostExecEngine::run_op(const Op& op) {
                           static_cast<const double*>(op.src2),
                           static_cast<double*>(op.dst));
       return;
+    case Op::Kind::KernelHalf:
+      op.uk->run_fast_half(static_cast<const std::uint16_t*>(op.src),
+                           static_cast<const std::uint32_t*>(op.src2),
+                           static_cast<float*>(op.dst));
+      return;
     case Op::Kind::Add:
       kernelgen::hostsimd::add_f32(static_cast<float*>(op.dst),
                                    static_cast<const float*>(op.src), op.n);
@@ -92,6 +97,18 @@ void HostExecEngine::kernel_f64(int core, const kernelgen::MicroKernel& uk,
                                 const double* a, const double* b, double* c) {
   Op op;
   op.kind = Op::Kind::KernelF64;
+  op.uk = &uk;
+  op.src = a;
+  op.src2 = b;
+  op.dst = c;
+  push(core, op);
+}
+
+void HostExecEngine::kernel_half(int core, const kernelgen::MicroKernel& uk,
+                                 const std::uint16_t* a,
+                                 const std::uint32_t* b, float* c) {
+  Op op;
+  op.kind = Op::Kind::KernelHalf;
   op.uk = &uk;
   op.src = a;
   op.src2 = b;

@@ -181,6 +181,15 @@ struct RunCtx {
     cl.timeline(core).compute(uk.cost_only());
   }
 
+  /// FP16/BF16 variant (hgemm): A is packed halves in SM, B the
+  /// pair-interleaved AM panel, C FP32.
+  void kernel_half(int core, const kernelgen::MicroKernel& uk,
+                   const std::uint16_t* a, const std::uint32_t* b, float* c) {
+    ++kernel_calls;
+    if (fn) exec.kernel_half(core, uk, a, b, c);
+    cl.timeline(core).compute(uk.cost_only());
+  }
+
   /// Phase spans (ping-pong C-tile rounds, the K-strategy reduction...):
   /// `t0 = phase_begin(core)` before, `phase_end(core, "name", t0)` after.
   /// Both collapse to nothing when tracing is off.

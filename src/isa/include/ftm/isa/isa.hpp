@@ -48,11 +48,30 @@ enum class Opcode : std::uint8_t {
   VFMULAD64,  ///< V[dst] += V[src1] * V[src2] on 16 FP64 lanes (the
               ///< register file viewed as doubles; half the FP32 rate).
   VADDD64,    ///< V[dst] = V[src1] + V[src2] on 16 FP64 lanes.
+  // Half-width (FP16/BF16) extension. A vector register holds 64 packed
+  // halves; each FP32 lane word is one k-adjacent pair (hi<<16 | lo).
+  VLDH,       ///< V[dst] = 64 packed halves (128 B) at AM[S[abase] + imm].
+  VSTH,       ///< AM[S[abase] + imm] = V[dst] (64 packed halves, 128 B).
+  VFMULAH32,  ///< 2-way dot-product accumulate into FP32: per lane l,
+              ///< V[dst][l] += widen(a.lo)*widen(b.lo) + widen(a.hi)*
+              ///< widen(b.hi) with a=V[src1][l], b=V[src2][l] as half
+              ///< pairs; inner FMA chain, no intermediate rounding beyond
+              ///< the two FP32 fmas. imm: 0 = FP16, 1 = BF16. Counts 128
+              ///< flops/op — twice the FP32 FMA rate.
+  SVBCASTH,   ///< V[dst][*] = lo32(S[src1]) as a packed half pair;
+              ///< V[dst+1][*] = hi32(S[src1]). Splats 4 half scalars per
+              ///< cycle through the one broadcast slot (same 64-bit
+              ///< scalar bandwidth as SVBCAST2).
   // Control.
   SBR,        ///< --S[dst]; if S[dst] != 0, branch to bundle `imm` after the
               ///< branch delay (lat_sbr - 1 delay-slot bundles execute).
   NOP,
+  kCount,     ///< Sentinel — keep last. Drives exhaustive-switch coverage
+              ///< (tests iterate Opcodes up to kCount; every table below
+              ///< must answer for each real opcode).
 };
+
+constexpr int kOpcodeCount = static_cast<int>(Opcode::kCount);
 
 /// Functional units of one DSP core; each is a distinct VLIW issue slot.
 /// Matches the rows of the paper's Tables I-III.
@@ -145,6 +164,12 @@ Instr make_vfmulas32(std::uint8_t vacc, std::uint8_t va, std::uint8_t vb);
 Instr make_vadds32(std::uint8_t vdst, std::uint8_t va, std::uint8_t vb);
 Instr make_vfmulad64(std::uint8_t vacc, std::uint8_t va, std::uint8_t vb);
 Instr make_vaddd64(std::uint8_t vdst, std::uint8_t va, std::uint8_t vb);
+Instr make_vldh(std::uint8_t vdst, std::uint8_t abase, std::int32_t off);
+Instr make_vsth(std::uint8_t vsrc, std::uint8_t abase, std::int32_t off);
+/// `bf16` selects the half format widened by the dot-product (imm field).
+Instr make_vfmulah32(std::uint8_t vacc, std::uint8_t va, std::uint8_t vb,
+                     bool bf16);
+Instr make_svbcasth(std::uint8_t vdst, std::uint8_t ssrc);
 Instr make_sbr(std::uint8_t counter, std::int32_t target_bundle);
 
 }  // namespace ftm::isa

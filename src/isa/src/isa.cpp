@@ -32,8 +32,13 @@ const char* to_string(Opcode op) {
     case Opcode::VADDS32: return "VADDS32";
     case Opcode::VFMULAD64: return "VFMULAD64";
     case Opcode::VADDD64: return "VADDD64";
+    case Opcode::VLDH: return "VLDH";
+    case Opcode::VSTH: return "VSTH";
+    case Opcode::VFMULAH32: return "VFMULAH32";
+    case Opcode::SVBCASTH: return "SVBCASTH";
     case Opcode::SBR: return "SBR";
     case Opcode::NOP: return "NOP";
+    case Opcode::kCount: break;
   }
   return "?";
 }
@@ -84,25 +89,31 @@ std::uint32_t admissible_units(Opcode op) {
     case Opcode::SVBCAST:
     case Opcode::SVBCAST2:
     case Opcode::SVBCASTD:
+    case Opcode::SVBCASTH:
       // One broadcast-issuing slot per cycle enforces the paper's two
       // FP32 scalars/cycle ceiling (SVBCAST2 carries two; SVBCASTD's one
-      // double consumes the same 64 bits).
+      // double and SVBCASTH's four halves consume the same 64 bits).
       return bit(Unit::SFMAC2);
     case Opcode::VLDW:
     case Opcode::VLDDW:
     case Opcode::VSTW:
     case Opcode::VSTDW:
+    case Opcode::VLDH:
+    case Opcode::VSTH:
       return bit(Unit::VLS1) | bit(Unit::VLS2);
     case Opcode::VMOVI:
     case Opcode::VFMULAS32:
     case Opcode::VADDS32:
     case Opcode::VFMULAD64:
     case Opcode::VADDD64:
+    case Opcode::VFMULAH32:
       return bit(Unit::VFMAC1) | bit(Unit::VFMAC2) | bit(Unit::VFMAC3);
     case Opcode::SBR:
       return bit(Unit::CU);
     case Opcode::NOP:
       return ~0u;
+    case Opcode::kCount:
+      break;
   }
   return 0;
 }
@@ -123,12 +134,15 @@ int op_latency(Opcode op, const MachineConfig& mc) {
     case Opcode::SVBCAST:
     case Opcode::SVBCAST2:
     case Opcode::SVBCASTD:
+    case Opcode::SVBCASTH:
       return mc.lat_bcast;
     case Opcode::VLDW:
     case Opcode::VLDDW:
+    case Opcode::VLDH:
       return mc.lat_vldw;
     case Opcode::VSTW:
     case Opcode::VSTDW:
+    case Opcode::VSTH:
       return mc.lat_vstw;
     case Opcode::VMOVI:
       return 1;
@@ -136,11 +150,14 @@ int op_latency(Opcode op, const MachineConfig& mc) {
     case Opcode::VADDS32:
     case Opcode::VFMULAD64:
     case Opcode::VADDD64:
+    case Opcode::VFMULAH32:
       return mc.lat_vfmac;
     case Opcode::SBR:
       return mc.lat_sbr;
     case Opcode::NOP:
       return 1;
+    case Opcode::kCount:
+      break;
   }
   return 1;
 }
@@ -174,8 +191,20 @@ std::string Instr::to_text() const {
     case Opcode::SVBCASTD:
       os << " V" << int(dst) << ", S" << int(src1) << " (f64)";
       break;
+    case Opcode::SVBCASTH:
+      os << " V" << int(dst) << ":V" << int(dst) + 1 << ", S" << int(src1)
+         << " (h2)";
+      break;
     case Opcode::VLDW:
       os << " V" << int(dst) << ", AM[S" << int(abase) << "+" << imm << "]";
+      break;
+    case Opcode::VLDH:
+      os << " V" << int(dst) << ", AM[S" << int(abase) << "+" << imm
+         << "] (h64)";
+      break;
+    case Opcode::VSTH:
+      os << " AM[S" << int(abase) << "+" << imm << "], V" << int(src1)
+         << " (h64)";
       break;
     case Opcode::VLDDW:
       os << " V" << int(dst) << ":V" << int(dst) + 1 << ", AM[S" << int(abase)
@@ -198,6 +227,10 @@ std::string Instr::to_text() const {
     case Opcode::VFMULAD64:
       os << " V" << int(dst) << " += V" << int(src1) << " * V" << int(src2);
       break;
+    case Opcode::VFMULAH32:
+      os << " V" << int(dst) << " += dot2(V" << int(src1) << ", V"
+         << int(src2) << ") (" << (imm ? "bf16" : "f16") << ")";
+      break;
     case Opcode::VADDS32:
     case Opcode::VADDD64:
       os << " V" << int(dst) << ", V" << int(src1) << ", V" << int(src2);
@@ -206,6 +239,7 @@ std::string Instr::to_text() const {
       os << " S" << int(dst) << ", @" << imm;
       break;
     case Opcode::NOP:
+    case Opcode::kCount:
       break;
   }
   return os.str();
@@ -401,6 +435,40 @@ Instr make_vaddd64(std::uint8_t vdst, std::uint8_t va, std::uint8_t vb) {
   in.dst = vdst;
   in.src1 = va;
   in.src2 = vb;
+  return in;
+}
+
+Instr make_vldh(std::uint8_t vdst, std::uint8_t abase, std::int32_t off) {
+  Instr in = base(Opcode::VLDH);
+  in.dst = vdst;
+  in.abase = abase;
+  in.imm = off;
+  return in;
+}
+
+Instr make_vsth(std::uint8_t vsrc, std::uint8_t abase, std::int32_t off) {
+  Instr in = base(Opcode::VSTH);
+  in.src1 = vsrc;
+  in.abase = abase;
+  in.imm = off;
+  return in;
+}
+
+Instr make_vfmulah32(std::uint8_t vacc, std::uint8_t va, std::uint8_t vb,
+                     bool bf16) {
+  Instr in = base(Opcode::VFMULAH32);
+  in.dst = vacc;
+  in.src1 = va;
+  in.src2 = vb;
+  in.imm = bf16 ? 1 : 0;
+  return in;
+}
+
+Instr make_svbcasth(std::uint8_t vdst, std::uint8_t ssrc) {
+  FTM_EXPECTS(vdst < 255);
+  Instr in = base(Opcode::SVBCASTH);
+  in.dst = vdst;
+  in.src1 = ssrc;
   return in;
 }
 

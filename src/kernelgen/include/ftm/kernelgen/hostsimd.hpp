@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 
 namespace ftm::kernelgen::hostsimd {
 
@@ -56,5 +57,20 @@ void add_f64(double* acc, const double* x_, std::size_t n);
 /// ReLU. Defined via compare-and-mask on every tier, so NaN and -0.0
 /// inputs produce +0.0 identically under scalar, AVX2, and NEON dispatch.
 void relu_f32(float* x_, std::size_t n);
+
+/// 2-way half dot-product accumulate — the host replay of VFMULAH32.
+/// Each b[x] packs a k-adjacent half pair (lo16 = even k, hi16 = odd k);
+/// (a0, a1) is the matching broadcast A pair. Per element:
+///   acc[x] = fma(widen(a1), widen(b.hi), fma(widen(a0), widen(b.lo),
+///                acc[x]))
+/// with the low pair's FMA strictly first. Widening is exact on every
+/// tier (F16C VCVTPH2PS / bf16 shift == ftm::util conversions), so all
+/// tiers are bit-identical for finite and subnormal operands. The AVX2
+/// body of the f16 variant additionally requires F16C at runtime and
+/// falls back to scalar without it; bf16 needs only AVX2+FMA.
+void dot2_f16(float* acc, std::uint16_t a0, std::uint16_t a1,
+              const std::uint32_t* b, std::size_t n);
+void dot2_bf16(float* acc, std::uint16_t a0, std::uint16_t a1,
+               const std::uint32_t* b, std::size_t n);
 
 }  // namespace ftm::kernelgen::hostsimd

@@ -55,6 +55,14 @@ class MicroKernel {
   std::uint64_t run_fast_f64(const double* a, const double* b,
                              double* c) const;
 
+  /// FP16/BF16 fast path. `a` is row-major halves (row pitch = ka, even-
+  /// padded), `b` is the pair-interleaved AM panel (kpairs rows of vn*32
+  /// words; word = lo half for even k | hi half for odd k << 16), `c` is
+  /// FP32 with the usual vn*32 row pitch. Same dot2 order as VFMULAH32 on
+  /// the detailed core, so the two paths agree bit-for-bit.
+  std::uint64_t run_fast_half(const std::uint16_t* a, const std::uint32_t* b,
+                              float* c) const;
+
   /// Timing-only: the calibrated cycles without touching data.
   std::uint64_t cost_only() const { return calib_.cycles; }
 

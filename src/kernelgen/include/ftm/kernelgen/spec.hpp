@@ -16,13 +16,20 @@
 
 namespace ftm::kernelgen {
 
-/// Element type of a kernel. The paper evaluates FP32; FP64 is this
-/// reproduction's extension, exercising the same generator with halved
-/// SIMD width (16 lanes) and halved broadcast bandwidth (one 64-bit scalar
-/// per cycle instead of two FP32).
-enum class DType { F32, F64 };
+/// Element type of a kernel. The paper evaluates FP32; FP64, FP16 and
+/// BF16 are this reproduction's extensions. FP64 exercises the generator
+/// with halved SIMD width (16 lanes) and halved broadcast bandwidth. The
+/// half formats keep 32 FP32 *accumulator* lanes but pack two k-adjacent
+/// operands per lane word (VFMULAH32 2-way dot product), doubling the
+/// multiply throughput under the same load/broadcast ceilings.
+enum class DType { F32, F64, F16, BF16 };
 
 const char* to_string(DType t);
+
+/// True for the packed 16-bit input formats (FP32 accumulation).
+constexpr bool is_half(DType t) {
+  return t == DType::F16 || t == DType::BF16;
+}
 
 /// Shape of one micro-kernel instance. `load_c` selects whether the kernel
 /// pre-loads C_a into the accumulators (accumulating kernel, the default
@@ -36,8 +43,16 @@ struct KernelSpec {
 
   bool operator==(const KernelSpec&) const = default;
 
-  int lanes() const { return dtype == DType::F32 ? 32 : 16; }
-  std::size_t elem_bytes() const { return dtype == DType::F32 ? 4 : 8; }
+  /// Output (accumulator) lanes per vector register: 32 FP32 lanes for
+  /// F32 and the half formats, 16 FP64 lanes for F64.
+  int lanes() const { return dtype == DType::F64 ? 16 : 32; }
+  /// Bytes per *input* element (A/B). C is FP32 for the half formats.
+  std::size_t elem_bytes() const {
+    if (dtype == DType::F64) return 8;
+    return is_half(dtype) ? 2 : 4;
+  }
+  /// Half kernels consume k two at a time; ka is padded to even upstream.
+  int kpairs() const { return (ka + 1) / 2; }
   /// Number of vector registers covering na.
   int vn() const { return (na + lanes() - 1) / lanes(); }
   /// AM row pitch in bytes for B_a/C_a: na padded to whole 128-byte
@@ -49,10 +64,15 @@ struct KernelSpec {
   int am_row_floats() const { return am_row_elems(); }
 
   std::size_t a_bytes() const {
-    return static_cast<std::size_t>(ms) * ka * elem_bytes();
+    const std::size_t kd = is_half(dtype) ? 2u * kpairs() : ka;
+    return static_cast<std::size_t>(ms) * kd * elem_bytes();
   }
+  /// B panel footprint in AM. Half formats store k-pair-interleaved rows:
+  /// one 128-byte row covers *two* k steps (64 packed halves), halving
+  /// the panel height.
   std::size_t b_bytes() const {
-    return static_cast<std::size_t>(ka) * am_row_bytes();
+    const std::size_t rows = is_half(dtype) ? kpairs() : ka;
+    return rows * am_row_bytes();
   }
   std::size_t c_bytes() const {
     return static_cast<std::size_t>(ms) * am_row_bytes();
@@ -74,7 +94,9 @@ const char* to_string(Regime r);
 /// Chosen unroll factors for the steady-state loop.
 struct Tiling {
   int mu = 6;  ///< Rows unrolled per inner block.
-  int ku = 1;  ///< k-steps unrolled per inner block.
+  int ku = 1;  ///< k-steps unrolled per inner block. For the half
+               ///< formats this counts *k-pairs* (one VFMULAH32 each),
+               ///< and is always even so SLDDW/SVBCASTH move two pairs.
   /// Resource-constrained initiation interval (cycles per inner block):
   /// max of the FMAC, broadcast, and vector-load bounds and t_fma.
   int ii = 6;

@@ -20,8 +20,10 @@ struct Gen {
   const isa::MachineConfig& mc;
   int vn;
   int ldbb;  ///< B_a/C_a row pitch in bytes (vn * 128).
-  int elem;  ///< element size in bytes (4 for F32, 8 for F64)
+  int elem;  ///< element size in bytes (4 F32, 8 F64, 2 F16/BF16)
+  int astep;  ///< A bytes per k-unit (pair = 4 B for half, else elem)
   bool f64;
+  bool half;  ///< F16/BF16: k-pair packed inputs, FP32 accumulators
 
   Gen(const KernelSpec& s, const Tiling& tl, const isa::MachineConfig& m)
       : spec(s),
@@ -30,8 +32,11 @@ struct Gen {
         vn(s.vn()),
         ldbb(s.am_row_bytes()),
         elem(static_cast<int>(s.elem_bytes())),
-        f64(s.dtype == DType::F64) {
+        astep(is_half(s.dtype) ? 4 : static_cast<int>(s.elem_bytes())),
+        f64(s.dtype == DType::F64),
+        half(is_half(s.dtype)) {
     FTM_EXPECTS(vector_regs_needed(tl, vn) <= m.vector_regs);
+    if (half) FTM_EXPECTS(t.ku % 2 == 0);
   }
 
   // --- Vector register map -------------------------------------------------
@@ -85,6 +90,28 @@ struct Gen {
           out.push_back(isa::make_svbcastd(
               static_cast<std::uint8_t>(va(p, r, kui)),
               static_cast<std::uint8_t>(stmp(p, r * ku + kui))));
+        }
+      }
+      return;
+    }
+    if (half) {
+      // Half: ku counts k-pairs (4 bytes each in the packed A rows). One
+      // SLDDW brings two pairs; one SVBCASTH splats them into va(kui) and
+      // va(kui+1) — 4 half scalars per broadcast cycle.
+      const int loads_per_row = ku / 2;
+      for (int r = 0; r < mu_t; ++r) {
+        const int base = row0_bytes + r * row_pitch_bytes + k_off * 4;
+        for (int q = 0; q < loads_per_row; ++q) {
+          out.push_back(isa::make_slddw(
+              static_cast<std::uint8_t>(stmp(p, r * loads_per_row + q)),
+              static_cast<std::uint8_t>(areg), base + q * 8));
+        }
+      }
+      for (int r = 0; r < mu_t; ++r) {
+        for (int q = 0; q < loads_per_row; ++q) {
+          out.push_back(isa::make_svbcasth(
+              static_cast<std::uint8_t>(va(p, r, 2 * q)),
+              static_cast<std::uint8_t>(stmp(p, r * loads_per_row + q))));
         }
       }
       return;
@@ -148,6 +175,16 @@ struct Gen {
                    int k_off) const {
     const int kb = t.ku * vn;
     const int base = k_off * ldbb;
+    if (half) {
+      // Pair-rows: row index == k-pair index, 64 packed halves per
+      // register. One VLDH per register on the two VLS units.
+      for (int i = 0; i < kb; ++i) {
+        out.push_back(isa::make_vldh(static_cast<std::uint8_t>(vb_flat(p, i)),
+                                     static_cast<std::uint8_t>(breg),
+                                     base + i * 128));
+      }
+      return;
+    }
     int i = 0;
     for (; i + 1 < kb; i += 2) {
       out.push_back(isa::make_vlddw(static_cast<std::uint8_t>(vb_flat(p, i)),
@@ -161,20 +198,23 @@ struct Gen {
     }
   }
 
+  /// One FMA op of the spec's dtype: acc += a (*) b.
+  Instr make_fma(int vacc, int vsrc_a, int vsrc_b) const {
+    const auto a8 = static_cast<std::uint8_t>(vacc);
+    const auto b8 = static_cast<std::uint8_t>(vsrc_a);
+    const auto c8 = static_cast<std::uint8_t>(vsrc_b);
+    if (f64) return isa::make_vfmulad64(a8, b8, c8);
+    if (half) return isa::make_vfmulah32(a8, b8, c8, spec.dtype == DType::BF16);
+    return isa::make_vfmulas32(a8, b8, c8);
+  }
+
   /// The mu_t * ku * vn fused multiply-adds of one iteration (parity p).
   void emit_compute(std::vector<Instr>& out, int p, int mu_t) const {
     for (int r = 0; r < mu_t; ++r) {
       for (int kui = 0; kui < t.ku; ++kui) {
         for (int nn = 0; nn < vn; ++nn) {
-          out.push_back(
-              f64 ? isa::make_vfmulad64(
-                        static_cast<std::uint8_t>(acc(r, kui, nn)),
-                        static_cast<std::uint8_t>(va(p, r, kui)),
-                        static_cast<std::uint8_t>(vb(p, kui, nn)))
-                  : isa::make_vfmulas32(
-                        static_cast<std::uint8_t>(acc(r, kui, nn)),
-                        static_cast<std::uint8_t>(va(p, r, kui)),
-                        static_cast<std::uint8_t>(vb(p, kui, nn))));
+          out.push_back(make_fma(acc(r, kui, nn), va(p, r, kui),
+                                 vb(p, kui, nn)));
         }
       }
     }
@@ -188,8 +228,11 @@ isa::Program generate_microkernel(const KernelSpec& spec, const Tiling& t,
   const Gen g(spec, t, mc);
   const int vn = g.vn;
   const int ku = t.ku;
-  const int nk = spec.ka / ku;          // full k-iterations
-  const int krem = spec.ka - nk * ku;   // remainder k-steps
+  // Half kernels iterate over k-*pairs*; everything below (nk, krem,
+  // k_off) is in those units, with g.astep the matching A byte stride.
+  const int ktotal = g.half ? spec.kpairs() : spec.ka;
+  const int nk = ktotal / ku;           // full k-iterations
+  const int krem = ktotal - nk * ku;    // remainder k-steps
   FTM_EXPECTS(nk >= 1);
   const int nb = nk - 1;                // pipelined (prefetching) iterations
   // Unroll depth of the steady-state loop body. The list scheduler reaches
@@ -282,7 +325,7 @@ isa::Program generate_microkernel(const KernelSpec& spec, const Tiling& t,
         g.emit_b_side(body, 1 - p, kRegBPtr, (u + 1) * ku);
       }
       body.push_back(
-          isa::make_saddi(kRegAPtr, kRegAPtr, unroll * ku * g.elem));
+          isa::make_saddi(kRegAPtr, kRegAPtr, unroll * ku * g.astep));
       body.push_back(
           isa::make_saddi(kRegBPtr, kRegBPtr, unroll * ku * g.ldbb));
 
@@ -320,8 +363,19 @@ isa::Program generate_microkernel(const KernelSpec& spec, const Tiling& t,
       for (int j = 0; j < krem; ++j) {
         for (int r = 0; r < mu_t; ++r) {
           const int a_off =
-              (mm + r) * spec.ka * g.elem + (kstart + j) * g.elem;
-          if (g.f64) {
+              (mm + r) * spec.ka * g.elem + (kstart + j) * g.astep;
+          if (g.half) {
+            // One leftover pair: SLDW brings the packed 32-bit pair,
+            // SVBCAST splats it bit-exactly (lane word = the pair).
+            epi.push_back(isa::make_sldw(
+                static_cast<std::uint8_t>(g.stmp(pr, 0)), kRegABase, a_off));
+            epi.push_back(isa::make_sfexts32l(
+                static_cast<std::uint8_t>(g.stmp(pr, 12)),
+                static_cast<std::uint8_t>(g.stmp(pr, 0))));
+            epi.push_back(isa::make_svbcast(
+                static_cast<std::uint8_t>(g.va(pr, r, 0)),
+                static_cast<std::uint8_t>(g.stmp(pr, 12))));
+          } else if (g.f64) {
             epi.push_back(isa::make_slddw(
                 static_cast<std::uint8_t>(g.stmp(pr, 0)), kRegABase,
                 a_off));
@@ -341,21 +395,18 @@ isa::Program generate_microkernel(const KernelSpec& spec, const Tiling& t,
           }
         }
         for (int nn = 0; nn < vn; ++nn) {
-          epi.push_back(isa::make_vldw(
-              static_cast<std::uint8_t>(g.vb(pr, 0, nn)), kRegBBase,
-              (kstart + j) * g.ldbb + nn * 128));
+          epi.push_back(
+              g.half ? isa::make_vldh(
+                           static_cast<std::uint8_t>(g.vb(pr, 0, nn)),
+                           kRegBBase, (kstart + j) * g.ldbb + nn * 128)
+                     : isa::make_vldw(
+                           static_cast<std::uint8_t>(g.vb(pr, 0, nn)),
+                           kRegBBase, (kstart + j) * g.ldbb + nn * 128));
         }
         for (int r = 0; r < mu_t; ++r) {
           for (int nn = 0; nn < vn; ++nn) {
-            epi.push_back(
-                g.f64 ? isa::make_vfmulad64(
-                            static_cast<std::uint8_t>(g.acc(r, j % ku, nn)),
-                            static_cast<std::uint8_t>(g.va(pr, r, 0)),
-                            static_cast<std::uint8_t>(g.vb(pr, 0, nn)))
-                      : isa::make_vfmulas32(
-                            static_cast<std::uint8_t>(g.acc(r, j % ku, nn)),
-                            static_cast<std::uint8_t>(g.va(pr, r, 0)),
-                            static_cast<std::uint8_t>(g.vb(pr, 0, nn))));
+            epi.push_back(g.make_fma(g.acc(r, j % ku, nn), g.va(pr, r, 0),
+                                     g.vb(pr, 0, nn)));
           }
         }
       }

@@ -45,11 +45,11 @@ MicroKernel::MicroKernel(const KernelSpec& spec, const isa::MachineConfig& mc)
 double MicroKernel::efficiency() const {
   if (calib_.cycles == 0) return 0.0;
   const double useful = spec_.flops();
-  // FP64 halves the per-FMAC flop count (16 lanes instead of 32).
-  const double peak_per_cycle =
-      spec_.dtype == DType::F32
-          ? static_cast<double>(mc_.peak_flops_per_cycle())
-          : static_cast<double>(mc_.peak_flops_per_cycle()) / 2.0;
+  // FP64 halves the per-FMAC flop count (16 lanes instead of 32); the half
+  // formats double it (VFMULAH32 is a 2-way dot product per lane).
+  double peak_per_cycle = static_cast<double>(mc_.peak_flops_per_cycle());
+  if (spec_.dtype == DType::F64) peak_per_cycle /= 2.0;
+  if (is_half(spec_.dtype)) peak_per_cycle *= 2.0;
   return useful / (static_cast<double>(calib_.cycles) * peak_per_cycle);
 }
 
@@ -173,6 +173,66 @@ std::uint64_t MicroKernel::run_fast_f64(const double* a, const double* b,
       }
       std::memcpy(c + static_cast<std::size_t>(row) * ld, bank0,
                   static_cast<std::size_t>(ld) * sizeof(double));
+    }
+  }
+  return calib_.cycles;
+}
+
+std::uint64_t MicroKernel::run_fast_half(const std::uint16_t* a,
+                                         const std::uint32_t* b,
+                                         float* c) const {
+  FTM_EXPECTS(is_half(spec_.dtype));
+  const bool bf16 = spec_.dtype == DType::BF16;
+  const int ms = spec_.ms;
+  const int ka = spec_.ka;  // even-padded upstream (choose_tiling enforces)
+  const int ld = spec_.am_row_elems();  // vn * 32 words / floats
+  const int ku = tiling_.ku;            // counts k-pairs
+  const int mu = tiling_.mu;
+  const int kp = spec_.kpairs();
+  const int nk = kp / ku;
+  const int krem = kp - nk * ku;
+  const auto dot2 = bf16 ? hostsimd::dot2_bf16 : hostsimd::dot2_f16;
+
+  // Banks mirror the generated half code: bank `kui` accumulates the k-pair
+  // p = i*ku + kui, the remainder pair j lands in bank j % ku, and banks
+  // reduce into bank 0 ascending — bit-identical to the detailed core.
+  float* banks = scratch_f32(static_cast<std::size_t>(ku) * ld);
+  for (int mm = 0; mm < ms; mm += mu) {
+    const int mu_t = std::min(mu, ms - mm);
+    for (int r = 0; r < mu_t; ++r) {
+      const int row = mm + r;
+      float* bank0 = banks;
+      if (spec_.load_c) {
+        std::memcpy(bank0, c + static_cast<std::size_t>(row) * ld,
+                    static_cast<std::size_t>(ld) * sizeof(float));
+      } else {
+        std::memset(bank0, 0, static_cast<std::size_t>(ld) * sizeof(float));
+      }
+      if (ku > 1) {
+        std::memset(banks + ld, 0,
+                    static_cast<std::size_t>(ku - 1) * ld * sizeof(float));
+      }
+      const std::uint16_t* arow = a + static_cast<std::size_t>(row) * ka;
+      for (int i = 0; i < nk; ++i) {
+        for (int kui = 0; kui < ku; ++kui) {
+          const int p = i * ku + kui;
+          const std::uint32_t* brow = b + static_cast<std::size_t>(p) * ld;
+          dot2(banks + static_cast<std::size_t>(kui) * ld, arow[2 * p],
+               arow[2 * p + 1], brow, static_cast<std::size_t>(ld));
+        }
+      }
+      for (int j = 0; j < krem; ++j) {
+        const int p = nk * ku + j;
+        const std::uint32_t* brow = b + static_cast<std::size_t>(p) * ld;
+        dot2(banks + static_cast<std::size_t>(j % ku) * ld, arow[2 * p],
+             arow[2 * p + 1], brow, static_cast<std::size_t>(ld));
+      }
+      for (int kui = 1; kui < ku; ++kui) {
+        hostsimd::add_f32(bank0, banks + static_cast<std::size_t>(kui) * ld,
+                          static_cast<std::size_t>(ld));
+      }
+      std::memcpy(c + static_cast<std::size_t>(row) * ld, bank0,
+                  static_cast<std::size_t>(ld) * sizeof(float));
     }
   }
   return calib_.cycles;

@@ -43,11 +43,13 @@ OpEffects op_effects(const Instr& in) {
       wv(in.dst);
       break;
     case Opcode::SVBCAST2:
+    case Opcode::SVBCASTH:
       rs(in.src1);
       wv(in.dst);
       wv(in.dst + 1);
       break;
     case Opcode::VLDW:
+    case Opcode::VLDH:
       rs(in.abase);
       wv(in.dst);
       break;
@@ -57,6 +59,7 @@ OpEffects op_effects(const Instr& in) {
       wv(in.dst + 1);
       break;
     case Opcode::VSTW:
+    case Opcode::VSTH:
       rs(in.abase);
       rv(in.src1);
       break;
@@ -70,6 +73,7 @@ OpEffects op_effects(const Instr& in) {
       break;
     case Opcode::VFMULAS32:
     case Opcode::VFMULAD64:
+    case Opcode::VFMULAH32:
       rv(in.dst);  // accumulator read-modify-write
       rv(in.src1);
       rv(in.src2);
@@ -86,6 +90,7 @@ OpEffects op_effects(const Instr& in) {
       ws(in.dst);
       break;
     case Opcode::NOP:
+    case Opcode::kCount:
       break;
   }
   return e;

@@ -14,6 +14,8 @@ const char* to_string(DType t) {
   switch (t) {
     case DType::F32: return "f32";
     case DType::F64: return "f64";
+    case DType::F16: return "f16";
+    case DType::BF16: return "bf16";
   }
   return "?";
 }
@@ -55,9 +57,14 @@ int max_mu(int ms, int ku, int vn, DType dtype,
   // F32 uses load + extract temps (4/row across parities); F64 needs one
   // SLDDW temp per (row, k) per parity.
   const int sbudget = mc.scalar_regs - 16;  // bases, counters, spares
-  const int stemps_per_row = dtype == DType::F32 ? 4 : 2 * ku;
+  // Half formats move two k-pairs per SLDDW: ku/2 temps per row per
+  // parity, i.e. ku per row across both parities.
+  const int stemps_per_row =
+      dtype == DType::F32 ? 4 : (is_half(dtype) ? ku : 2 * ku);
   mu = std::min(mu, sbudget / std::max(1, stemps_per_row));
   if (dtype == DType::F64) mu = std::min(mu, 12 / std::max(1, ku));
+  // Half: mu*(ku/2) SLDDW temps per parity must fit the 12 load slots.
+  if (is_half(dtype)) mu = std::min(mu, 24 / std::max(1, ku));
   mu = std::clamp(mu, 1, ms);
   const int tiles = (ms + mu - 1) / mu;
   return (ms + tiles - 1) / tiles;
@@ -71,18 +78,28 @@ int resource_ii(int mu, int ku, int vn, DType dtype,
   const int ii_fmac = ceil_div(fmacs, mc.vector_fmac_units);
   // Broadcast slot (SFMAC2): SVBCAST carries 1 scalar, SVBCAST2 carries 2
   // (the generator pairs whenever ku is even). One FP64 scalar consumes a
-  // full cycle of the 64-bit broadcast path.
+  // full cycle of the 64-bit broadcast path. SVBCASTH splats two packed
+  // half *pairs* (4 scalars) per cycle — the same 64-bit bandwidth.
   const int scalars = mu * ku;
-  const int bcast_ops = (dtype == DType::F32 && ku % 2 == 0)
-                            ? ceil_div(scalars, 2)
-                            : scalars;
+  int bcast_ops;
+  if (is_half(dtype)) {
+    bcast_ops = ceil_div(scalars, 2);  // ku counts pairs; 2 per SVBCASTH
+  } else if (dtype == DType::F32 && ku % 2 == 0) {
+    bcast_ops = ceil_div(scalars, 2);
+  } else {
+    bcast_ops = scalars;
+  }
   const int ii_bcast = bcast_ops;  // single broadcast-capable slot
-  // Vector loads: ku*vn B vectors per block, VLDDW pairs on two units.
-  const int vld_ops = ceil_div(ku * vn, 2);
+  // Vector loads: ku*vn B vectors per block. F32/F64 use VLDDW pairs on
+  // two units; half B rows load one register per VLDH on the same two
+  // units (never the binding resource for vn <= 3).
+  const int vld_ops = is_half(dtype) ? ku * vn : ceil_div(ku * vn, 2);
   const int ii_vld = ceil_div(vld_ops, 2);
-  // Scalar loads: F32 pairs two k's per SLDDW; F64 loads one per SLDDW.
-  const int sld_ops = (dtype == DType::F32 && ku % 2 == 0) ? mu * (ku / 2)
-                                                           : mu * ku;
+  // Scalar loads: F32 pairs two k's per SLDDW; F64 loads one per SLDDW;
+  // half packs two k-pairs (four halves) per SLDDW.
+  const int sld_ops = ((dtype == DType::F32 || is_half(dtype)) && ku % 2 == 0)
+                          ? mu * (ku / 2)
+                          : mu * ku;
   const int ii_sld = ceil_div(sld_ops, 2);
   return std::max({ii_fmac, ii_bcast, ii_vld, ii_sld, 1});
 }
@@ -93,19 +110,26 @@ Tiling choose_tiling(const KernelSpec& spec, const isa::MachineConfig& mc) {
   FTM_EXPECTS(spec.ms >= 1 && spec.ms <= 64);
   FTM_EXPECTS(spec.ka >= 1);
   FTM_EXPECTS(spec.na >= 1 && spec.na <= 3 * spec.lanes());
+  // Half kernels consume k in pairs and need at least one full ku=2
+  // iteration; hgemm's packers zero-pad K up to these floors.
+  if (is_half(spec.dtype)) FTM_EXPECTS(spec.ka % 2 == 0 && spec.ka >= 4);
   const int vn = spec.vn();
+  const bool half = is_half(spec.dtype);
   const Regime reg = spec.dtype == DType::F32 ? regime_for(spec.na)
                                               : Regime::Narrow;
 
   // Candidate k_u values per §IV-A2: wide kernels with deep pipelines keep
   // k_u = 1; narrow or short kernels raise k_u to refill the FMAC units.
+  // Half kernels unroll in k-*pairs* and need ku even (one SLDDW feeds
+  // one SVBCASTH with exactly two pairs), so they search {2, 4}.
   int best_ku = 1;
   int best_mu = 1;
   int best_ii = 1 << 20;
   double best_util = -1.0;
   for (int ku : {1, 2, 3, 4}) {
-    if (ku > spec.ka) continue;
-    if (reg == Regime::Wide && spec.ms >= mc.lat_vfmac && ku > 1) {
+    if (half && (ku % 2 != 0 || ku > spec.kpairs())) continue;
+    if (!half && ku > spec.ka) continue;
+    if (!half && reg == Regime::Wide && spec.ms >= mc.lat_vfmac && ku > 1) {
       continue;  // paper: k_u = 1 when ms >= t_fma and na wide
     }
     const int mu = max_mu(spec.ms, ku, vn, spec.dtype, mc);
@@ -153,6 +177,12 @@ double predicted_utilization(const KernelSpec& spec, const Tiling& t,
 double upper_bound_utilization(const KernelSpec& spec,
                                const isa::MachineConfig& mc) {
   if (spec.dtype == DType::F32) return upper_bound_utilization(spec.na, mc);
+  if (is_half(spec.dtype)) {
+    // One SVBCASTH per cycle feeds two (row, pair) operands -> at most
+    // 2*vn VFMULAH32 issues per broadcast cycle across 3 FMAC units.
+    const double vn = spec.vn();
+    return std::min(1.0, 2.0 * vn / mc.vector_fmac_units);
+  }
   // FP64: one broadcast per cycle pairs with vn vector loads feeding at
   // most vn of the three FMAC units.
   const double vn = spec.vn();

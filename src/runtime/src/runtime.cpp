@@ -523,7 +523,7 @@ SubmitResult GemmRuntime::try_submit(const core::GemmInput& in,
     r->priority = qos.priority;
     r->arrival_cycle = qos.arrival_cycle;
     r->opt.integrity = effective_integrity(opt, qos);
-    r->cls = tune::ShapeClass::of(in.m, in.n, in.k, opt.cores);
+    r->cls = tune::ShapeClass::of(in.m, in.n, in.k, opt.cores, opt.dtype);
     r->node_tier = true;
     sr.future = r->promise.get_future();
     {
@@ -554,7 +554,7 @@ SubmitResult GemmRuntime::try_submit(const core::GemmInput& in,
   // ABFT policy is resolved once, here: every dispatch of this request
   // (retries, steals, CPU fallback aside) runs the same integrity mode.
   r->opt.integrity = effective_integrity(opt, qos);
-  r->cls = tune::ShapeClass::of(in.m, in.n, in.k, opt.cores);
+  r->cls = tune::ShapeClass::of(in.m, in.n, in.k, opt.cores, opt.dtype);
   sr.future = r->promise.get_future();
   {
     const std::lock_guard<std::mutex> lock(stats_mu_);
@@ -594,7 +594,7 @@ RejectReason GemmRuntime::admit(const core::GemmInput& in,
   }
   if (qos.deadline_cycles > 0) {
     const tune::ShapeClass cls =
-        tune::ShapeClass::of(in.m, in.n, in.k, opt.cores);
+        tune::ShapeClass::of(in.m, in.n, in.k, opt.cores, opt.dtype);
     if (predict_latency_cycles(qos, cls) > qos.deadline_cycles) {
       return RejectReason::DeadlineUnmeetable;
     }
@@ -678,7 +678,8 @@ std::future<core::GemmResult> GemmRuntime::submit_split(
     req->priority = qos.priority;
     req->arrival_cycle = qos.arrival_cycle;
     req->opt.integrity = effective_integrity(opt, qos);
-    req->cls = tune::ShapeClass::of(shard.m, shard.n, shard.k, opt.cores);
+    req->cls = tune::ShapeClass::of(shard.m, shard.n, shard.k, opt.cores,
+                                    opt.dtype);
     const int target = targets[static_cast<std::size_t>(p)];
     req->bound_cluster = target;
     queue_.push(target, std::move(req));
@@ -899,6 +900,14 @@ void GemmRuntime::process(int cluster, std::unique_ptr<Request> req,
   if (ok) {
     rs.sim_cycles = result.cycles;
     rs.strategy = result.strategy;
+    rs.dtype = result.dtype;
+    rs.strassen_levels = result.strassen_levels;
+    if (result.dtype != kernelgen::DType::F32) {
+      FTM_TRACE_COUNTER("kernel.dtype", static_cast<int>(result.dtype));
+    }
+    if (result.strassen_levels > 0) {
+      FTM_TRACE_COUNTER("strassen.levels", result.strassen_levels);
+    }
     rs.host_wall_us = result.host_wall_us;
     rs.checksum_checks = result.checksum_checks;
     rs.sdc_detected = result.sdc_detected;

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "ftm/trace/trace.hpp"
+#include "ftm/util/half.hpp"
 
 namespace ftm::sim {
 
@@ -88,6 +89,15 @@ void DspCore::execute(const Instr& in) {
       f64_to_vreg(lanes, V[in.dst]);
       break;
     }
+    case Opcode::SVBCASTH: {
+      // 64-bit scalar = two packed half pairs; one pair splat per dest.
+      const float lo = u32_to_f32(static_cast<std::uint32_t>(S[in.src1]));
+      const float hi =
+          u32_to_f32(static_cast<std::uint32_t>(S[in.src1] >> 32));
+      V[in.dst].fill(lo);
+      V[in.dst + 1].fill(hi);
+      break;
+    }
     case Opcode::VLDW: {
       const float* src = am_.f32(S[in.abase] + in.imm, 32);
       std::memcpy(V[in.dst].data(), src, 32 * sizeof(float));
@@ -108,6 +118,17 @@ void DspCore::execute(const Instr& in) {
       float* dst = am_.f32(S[in.abase] + in.imm, 64);
       std::memcpy(dst, V[in.src1].data(), 32 * sizeof(float));
       std::memcpy(dst + 32, V[in.src1 + 1].data(), 32 * sizeof(float));
+      break;
+    }
+    case Opcode::VLDH: {
+      // 64 packed halves = the same 128 B as one FP32 register.
+      const float* src = am_.f32(S[in.abase] + in.imm, 32);
+      std::memcpy(V[in.dst].data(), src, 32 * sizeof(float));
+      break;
+    }
+    case Opcode::VSTH: {
+      float* dst = am_.f32(S[in.abase] + in.imm, 32);
+      std::memcpy(dst, V[in.src1].data(), 32 * sizeof(float));
       break;
     }
     case Opcode::VMOVI: {
@@ -145,11 +166,36 @@ void DspCore::execute(const Instr& in) {
       f64_to_vreg(d, V[in.dst]);
       break;
     }
+    case Opcode::VFMULAH32: {
+      // 2-way dot-product accumulate: each FP32 lane word of the sources
+      // is a packed (k, k+1) half pair; both products land in one FP32
+      // accumulator lane via two chained fmas (low pair first). This
+      // evaluation order is the contract every host tier must match.
+      auto& c = V[in.dst];
+      const auto& a = V[in.src1];
+      const auto& b = V[in.src2];
+      const bool bf16 = in.imm != 0;
+      for (int l = 0; l < 32; ++l) {
+        const std::uint32_t aw = util::f32_bits(a[l]);
+        const std::uint32_t bw = util::f32_bits(b[l]);
+        const float a0 =
+            util::half_to_f32(static_cast<std::uint16_t>(aw), bf16);
+        const float a1 =
+            util::half_to_f32(static_cast<std::uint16_t>(aw >> 16), bf16);
+        const float b0 =
+            util::half_to_f32(static_cast<std::uint16_t>(bw), bf16);
+        const float b1 =
+            util::half_to_f32(static_cast<std::uint16_t>(bw >> 16), bf16);
+        c[l] = std::fmaf(a1, b1, std::fmaf(a0, b0, c[l]));
+      }
+      break;
+    }
     case Opcode::SBR:
       // Counter decrement happens at issue; the jump is applied by run().
       S[in.dst] -= 1;
       break;
     case Opcode::NOP:
+    case Opcode::kCount:
       break;
   }
 }
@@ -194,13 +240,16 @@ ExecResult DspCore::run(const isa::Program& prog, std::uint64_t max_cycles) {
         case Opcode::SVBCAST:
         case Opcode::SVBCAST2:
         case Opcode::SVBCASTD:
+        case Opcode::SVBCASTH:
           need_s(in.src1);
           break;
         case Opcode::VLDW:
         case Opcode::VLDDW:
+        case Opcode::VLDH:
           need_s(in.abase);
           break;
         case Opcode::VSTW:
+        case Opcode::VSTH:
           need_s(in.abase);
           need_v(in.src1);
           break;
@@ -211,6 +260,7 @@ ExecResult DspCore::run(const isa::Program& prog, std::uint64_t max_cycles) {
           break;
         case Opcode::VFMULAS32:
         case Opcode::VFMULAD64:
+        case Opcode::VFMULAH32:
           need_v(in.dst);  // accumulator is read-modify-write
           need_v(in.src1);
           need_v(in.src2);
@@ -226,6 +276,7 @@ ExecResult DspCore::run(const isa::Program& prog, std::uint64_t max_cycles) {
         case Opcode::SMOVI:
         case Opcode::VMOVI:
         case Opcode::NOP:
+        case Opcode::kCount:
           break;
       }
     }
@@ -261,10 +312,12 @@ ExecResult DspCore::run(const isa::Program& prog, std::uint64_t max_cycles) {
           vready_[in.dst] = done;
           break;
         case Opcode::SVBCAST2:
+        case Opcode::SVBCASTH:
           vready_[in.dst] = done;
           vready_[in.dst + 1] = done;
           break;
         case Opcode::VLDW:
+        case Opcode::VLDH:
         case Opcode::VMOVI:
           vready_[in.dst] = done;
           break;
@@ -282,14 +335,22 @@ ExecResult DspCore::run(const isa::Program& prog, std::uint64_t max_cycles) {
           ++res.vfmac_ops;
           res.flops += static_cast<std::uint64_t>(mc_.flops_per_vfmac() / 2);
           break;
+        case Opcode::VFMULAH32:
+          // Two half products per FP32 accumulator lane: 2x the FP32 rate.
+          vready_[in.dst] = done;
+          ++res.vfmac_ops;
+          res.flops += static_cast<std::uint64_t>(mc_.flops_per_vfmac() * 2);
+          break;
         case Opcode::VADDS32:
         case Opcode::VADDD64:
           vready_[in.dst] = done;
           break;
         case Opcode::VSTW:
         case Opcode::VSTDW:
+        case Opcode::VSTH:
         case Opcode::SBR:
         case Opcode::NOP:
+        case Opcode::kCount:
           break;
       }
     }

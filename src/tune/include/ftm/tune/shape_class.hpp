@@ -13,6 +13,7 @@
 #include <string>
 
 #include "ftm/isa/machine.hpp"
+#include "ftm/kernelgen/spec.hpp"
 
 namespace ftm::tune {
 
@@ -30,22 +31,29 @@ struct ShapeClass {
   int nb = 0;  ///< bucket of N
   int kb = 0;  ///< bucket of K
   int cores = 8;
+  /// Compute dtype (static_cast of kernelgen::DType; 0 = F32). Mixed
+  /// precision changes every capacity/bandwidth trade-off, so F16/BF16
+  /// shapes tune into their own classes.
+  int dtype = 0;
 
   static ShapeClass of(std::size_t m, std::size_t n, std::size_t k,
-                       int cores);
+                       int cores,
+                       kernelgen::DType dtype = kernelgen::DType::F32);
 
-  /// Stable cache key, e.g. "m18-n5-k5-c8".
+  /// Stable cache key, e.g. "m18-n5-k5-c8"; non-F32 classes append the
+  /// dtype ("m18-n5-k5-c8-dt2") so F32 keys are unchanged from schema 1.
   std::string key() const;
 
   friend bool operator<(const ShapeClass& a, const ShapeClass& b) {
     if (a.mb != b.mb) return a.mb < b.mb;
     if (a.nb != b.nb) return a.nb < b.nb;
     if (a.kb != b.kb) return a.kb < b.kb;
-    return a.cores < b.cores;
+    if (a.cores != b.cores) return a.cores < b.cores;
+    return a.dtype < b.dtype;
   }
   friend bool operator==(const ShapeClass& a, const ShapeClass& b) {
     return a.mb == b.mb && a.nb == b.nb && a.kb == b.kb &&
-           a.cores == b.cores;
+           a.cores == b.cores && a.dtype == b.dtype;
   }
 };
 

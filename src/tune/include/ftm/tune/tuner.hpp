@@ -28,6 +28,11 @@ namespace ftm::tune {
 
 struct TunerOptions {
   int cores = 8;
+  /// Compute dtype the tuned entries are keyed under. F16/BF16 shapes run
+  /// the dedicated half engine (which derives its own capacity blocks),
+  /// so the half search space is the engine default plus the DMA depth —
+  /// the blocked-strategy axes only apply at F32.
+  kernelgen::DType dtype = kernelgen::DType::F32;
   /// Max simulator evaluations per shape (pruned candidates are free).
   int budget = 96;
   /// Coordinate-descent sweeps over the axis list per strategy.

@@ -7,15 +7,20 @@
 // KernelCache. On disk it is a single JSON document:
 //
 //   {
-//     "schema": 1,
+//     "schema": 2,
 //     "machine": "a1b2c3d4e5f60718",
-//     "entries": [ { "class": "m18-n5-k5-c8", "strategy": "ftimm-M",
+//     "entries": [ { "class": "m18-n5-k5-c8", "dtype": 0,
+//                    "strategy": "ftimm-M",
 //                    "m": 262144, "n": 32, "k": 32, "dma_buffers": 2,
 //                    "tuned_cycles": 123, "default_cycles": 456,
 //                    "seed": 1,
 //                    "blocks": { "kg": 5888, "ng": 96, "ma": 320,
 //                                "na": 96, "ka": 864, "ms": 8 } }, ... ]
 //   }
+//
+// Schema 2 adds the per-entry "dtype" (kernelgen::DType as an integer;
+// part of the class key) and the "strassen" strategy, whose blocks object
+// holds the recursion cutoff.
 //
 // load() NEVER throws on bad input: a missing file, truncated/corrupt
 // JSON, a schema-version mismatch, or a machine-hash mismatch all leave
@@ -53,6 +58,8 @@ struct TunedEntry {
   core::MBlocks mblocks;  ///< seed when strategy == ParallelM
   core::KBlocks kblocks;  ///< seed when strategy == ParallelK
   core::TBlocks tblocks;  ///< blocks when strategy == TGemm
+  /// Recursion cutoff when strategy == Strassen (schema 2).
+  std::size_t strassen_cutoff = 0;
   int dma_buffers = 2;    ///< 1 = single-buffered, 2 = ping-pong
   std::size_t m = 0, n = 0, k = 0;      ///< representative tuned shape
   std::uint64_t tuned_cycles = 0;       ///< objective at the winner
@@ -72,7 +79,11 @@ const char* to_string(LoadStatus s);
 
 class TuningCache : public core::PlanProvider {
  public:
-  static constexpr int kSchemaVersion = 1;
+  /// Schema 2 (ISSUE 10): entries carry a "dtype" class field and the
+  /// "strassen" strategy with a cutoff. Schema-1 files load as
+  /// SchemaMismatch — the engine falls back to analytic plans, exactly as
+  /// for a missing file; re-run the tuner to regenerate.
+  static constexpr int kSchemaVersion = 2;
 
   explicit TuningCache(const isa::MachineConfig& mc = isa::default_machine());
 

@@ -67,15 +67,17 @@ int shape_bucket(std::size_t v) {
 }
 
 ShapeClass ShapeClass::of(std::size_t m, std::size_t n, std::size_t k,
-                          int cores) {
+                          int cores, kernelgen::DType dtype) {
   FTM_EXPECTS(m >= 1 && n >= 1 && k >= 1 && cores >= 1);
   return ShapeClass{shape_bucket(m), shape_bucket(n), shape_bucket(k),
-                    cores};
+                    cores, static_cast<int>(dtype)};
 }
 
 std::string ShapeClass::key() const {
-  return "m" + std::to_string(mb) + "-n" + std::to_string(nb) + "-k" +
-         std::to_string(kb) + "-c" + std::to_string(cores);
+  std::string s = "m" + std::to_string(mb) + "-n" + std::to_string(nb) +
+                  "-k" + std::to_string(kb) + "-c" + std::to_string(cores);
+  if (dtype != 0) s += "-dt" + std::to_string(dtype);
+  return s;
 }
 
 }  // namespace ftm::tune

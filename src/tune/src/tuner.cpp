@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "ftm/core/blocking.hpp"
+#include "ftm/core/strassen.hpp"
 #include "ftm/trace/trace.hpp"
 #include "ftm/util/assert.hpp"
 
@@ -20,6 +21,7 @@ struct Cand {
   core::MBlocks mb;
   core::KBlocks kb;
   core::TBlocks tb;
+  std::size_t strassen_cutoff = core::kStrassenDefaultCutoff;
   int dma = 2;
 };
 
@@ -32,13 +34,19 @@ struct Axis {
   std::function<void(Cand&, std::size_t)> set;
 };
 
-std::vector<Axis> axes_for(core::Strategy s) {
+std::vector<Axis> axes_for(core::Strategy s, bool half) {
   using S = core::Strategy;
   std::vector<Axis> ax;
   const Axis dma{"dma_buffers",
                  {1, 2},
                  [](const Cand& c) { return static_cast<std::size_t>(c.dma); },
                  [](Cand& c, std::size_t v) { c.dma = static_cast<int>(v); }};
+  if (half) {
+    // The half engine derives its own capacity blocks from the 2-byte
+    // operand footprints — only the DMA buffering depth is searchable.
+    ax.push_back(dma);
+    return ax;
+  }
   switch (s) {
     case S::ParallelM:
       ax.push_back({"ms",
@@ -71,6 +79,12 @@ std::vector<Axis> axes_for(core::Strategy s) {
                     {128, 256, 512, 1024, 2048},
                     [](const Cand& c) { return c.kb.mg; },
                     [](Cand& c, std::size_t v) { c.kb.mg = v; }});
+      break;
+    case S::Strassen:
+      ax.push_back({"cutoff",
+                    {2048, 4096, 8192, 16384},
+                    [](const Cand& c) { return c.strassen_cutoff; },
+                    [](Cand& c, std::size_t v) { c.strassen_cutoff = v; }});
       break;
     default:  // TGemm
       ax.push_back({"ms",
@@ -121,6 +135,7 @@ std::uint64_t Tuner::evaluate(const core::GemmPlan& plan, std::size_t m,
                               std::size_t n, std::size_t k) {
   core::FtimmOptions o;
   o.cores = opt_.cores;
+  o.dtype = opt_.dtype;
   o.functional = false;  // lane-clock makespan only — no data movement
   const core::GemmResult r =
       engine_.sgemm_planned(core::GemmInput::shape_only(m, n, k), plan, o);
@@ -148,6 +163,16 @@ TuneReport Tuner::tune(std::size_t m, std::size_t n, std::size_t k) {
         case core::Strategy::ParallelK:
           p.kblocks = core::adjust_k_blocks(c.kb, m, n, k, mc_, opt_.cores);
           break;
+        case core::Strategy::Strassen:
+          // Only candidates that actually split: a cutoff at or above the
+          // shape degenerates to the autotuned blocked path, and odd
+          // dimensions are not peeled.
+          if (std::max({m, n, k}) <= c.strassen_cutoff || m % 2 != 0 ||
+              n % 2 != 0 || k % 2 != 0) {
+            return std::nullopt;
+          }
+          p.strassen_cutoff = c.strassen_cutoff;
+          break;
         default:
           p.tblocks = c.tb;
           core::check_t_blocks(p.tblocks, mc_);
@@ -168,6 +193,14 @@ TuneReport Tuner::tune(std::size_t m, std::size_t n, std::size_t k) {
     c.kb = core::initial_k_blocks(mc_);
     c.tb = core::TBlocks{};
     c.dma = 2;
+    // Strassen seed: the largest grid cutoff that still splits this
+    // shape (the default prunes whenever max(m,n,k) <= it).
+    for (const std::size_t co : {16384ul, 8192ul, 4096ul, 2048ul}) {
+      if (co < std::max({m, n, k})) {
+        c.strassen_cutoff = co;
+        break;
+      }
+    }
     return c;
   };
 
@@ -183,11 +216,19 @@ TuneReport Tuner::tune(std::size_t m, std::size_t n, std::size_t k) {
   Cand best = def_cand;
 
   // Race the strategies, dispatcher's pick first (it gets the budget's
-  // best coverage and anchors the zero-regression guarantee).
+  // best coverage and anchors the zero-regression guarantee). At F32 the
+  // Strassen axis joins last: its candidates are the most expensive to
+  // evaluate (each one recurses into autotuned leaves). Half requests are
+  // routed to the dedicated engine regardless of the planned strategy, so
+  // racing other strategies would re-evaluate the same configuration.
+  const bool half = kernelgen::is_half(opt_.dtype);
   std::vector<core::Strategy> order{def_strategy};
-  for (core::Strategy s : {core::Strategy::ParallelM,
-                           core::Strategy::ParallelK, core::Strategy::TGemm}) {
-    if (s != def_strategy) order.push_back(s);
+  if (!half) {
+    for (core::Strategy s :
+         {core::Strategy::ParallelM, core::Strategy::ParallelK,
+          core::Strategy::TGemm, core::Strategy::Strassen}) {
+      if (s != def_strategy) order.push_back(s);
+    }
   }
 
   for (const core::Strategy s : order) {
@@ -213,7 +254,7 @@ TuneReport Tuner::tune(std::size_t m, std::size_t n, std::size_t k) {
       if (const auto p = bind(cur)) cmr_ref = min_cmr(*p);
     }
 
-    const std::vector<Axis> axes = axes_for(s);
+    const std::vector<Axis> axes = axes_for(s, half);
     for (int round = 0; round < opt_.rounds; ++round) {
       bool improved = false;
       for (const Axis& axis : axes) {
@@ -254,11 +295,12 @@ TuneReport Tuner::tune(std::size_t m, std::size_t n, std::size_t k) {
   }
 
   TunedEntry& e = rep.entry;
-  e.cls = ShapeClass::of(m, n, k, opt_.cores);
+  e.cls = ShapeClass::of(m, n, k, opt_.cores, opt_.dtype);
   e.strategy = best.strategy;
   e.mblocks = best.mb;
   e.kblocks = best.kb;
   e.tblocks = best.tb;
+  e.strassen_cutoff = best.strassen_cutoff;
   e.dma_buffers = best.dma;
   e.m = m;
   e.n = n;

@@ -204,6 +204,7 @@ bool strategy_from_string(const std::string& s, core::Strategy* out) {
   if (s == "tgemm") *out = core::Strategy::TGemm;
   else if (s == "ftimm-M") *out = core::Strategy::ParallelM;
   else if (s == "ftimm-K") *out = core::Strategy::ParallelK;
+  else if (s == "strassen") *out = core::Strategy::Strassen;
   else return false;
   return true;
 }
@@ -224,6 +225,7 @@ bool parse_entry(const JValue& e, TunedEntry* out) {
   if (!read_size(e, "mb", &t.cls.mb) || !read_size(e, "nb", &t.cls.nb) ||
       !read_size(e, "kb", &t.cls.kb) ||
       !read_size(e, "cores", &t.cls.cores) ||
+      !read_size(e, "dtype", &t.cls.dtype) ||
       !read_size(e, "m", &t.m) || !read_size(e, "n", &t.n) ||
       !read_size(e, "k", &t.k) ||
       !read_size(e, "dma_buffers", &t.dma_buffers) ||
@@ -257,6 +259,8 @@ bool parse_entry(const JValue& e, TunedEntry* out) {
              read_size(b, "kg", &t.tblocks.kg) &&
              read_size(b, "na", &t.tblocks.na) &&
              read_size(b, "ms", &t.tblocks.ms) && (*out = t, true);
+    case core::Strategy::Strassen:
+      return read_size(b, "cutoff", &t.strassen_cutoff) && (*out = t, true);
     default: return false;
   }
 }
@@ -264,7 +268,8 @@ bool parse_entry(const JValue& e, TunedEntry* out) {
 void write_entry(std::ostringstream& os, const TunedEntry& t) {
   os << "    {\"class\": \"" << t.cls.key() << "\", \"mb\": " << t.cls.mb
      << ", \"nb\": " << t.cls.nb << ", \"kb\": " << t.cls.kb
-     << ", \"cores\": " << t.cls.cores << ",\n     \"strategy\": \""
+     << ", \"cores\": " << t.cls.cores << ", \"dtype\": " << t.cls.dtype
+     << ",\n     \"strategy\": \""
      << core::to_string(t.strategy) << "\", \"m\": " << t.m
      << ", \"n\": " << t.n << ", \"k\": " << t.k
      << ", \"dma_buffers\": " << t.dma_buffers
@@ -282,6 +287,9 @@ void write_entry(std::ostringstream& os, const TunedEntry& t) {
          << ", \"ma\": " << t.kblocks.ma << ", \"na\": " << t.kblocks.na
          << ", \"ka\": " << t.kblocks.ka << ", \"ms\": " << t.kblocks.ms
          << ", \"reduce_rows\": " << t.kblocks.reduce_rows;
+      break;
+    case core::Strategy::Strassen:
+      os << "\"cutoff\": " << t.strassen_cutoff;
       break;
     default:
       os << "\"mg\": " << t.tblocks.mg << ", \"kg\": " << t.tblocks.kg
@@ -409,7 +417,7 @@ void TuningCache::clear() {
 std::optional<core::GemmPlan> TuningCache::lookup(
     std::size_t m, std::size_t n, std::size_t k,
     const core::FtimmOptions& opt) const {
-  const auto entry = find(ShapeClass::of(m, n, k, opt.cores));
+  const auto entry = find(ShapeClass::of(m, n, k, opt.cores, opt.dtype));
   if (!entry) {
     misses_.fetch_add(1, std::memory_order_relaxed);
     return std::nullopt;
@@ -432,6 +440,10 @@ std::optional<core::GemmPlan> TuningCache::lookup(
       case core::Strategy::TGemm:
         plan.tblocks = entry->tblocks;
         core::check_t_blocks(plan.tblocks, mc_);
+        break;
+      case core::Strategy::Strassen:
+        // No blocks to bind: the cutoff travels and the leaves autotune.
+        plan.strassen_cutoff = entry->strassen_cutoff;
         break;
       default: return std::nullopt;
     }

@@ -101,6 +101,36 @@ TEST(Isa, DisassemblyMentionsOperands) {
   EXPECT_NE(s.find("V8"), std::string::npos);
 }
 
+TEST(Isa, EveryOpcodeBelowSentinelIsFullyTabulated) {
+  // The kCount sentinel exists so this loop stays exhaustive: adding an
+  // opcode without extending every table (name, units, latency) fails
+  // here instead of silently disassembling as "?" or scheduling nowhere.
+  const MachineConfig& mc = default_machine();
+  for (int i = 0; i < kOpcodeCount; ++i) {
+    const Opcode op = static_cast<Opcode>(i);
+    EXPECT_STRNE(to_string(op), "?") << "opcode " << i;
+    EXPECT_NE(admissible_units(op), 0u) << to_string(op);
+    EXPECT_GT(op_latency(op, mc), 0) << to_string(op);
+  }
+  for (int i = 0; i < kUnitCount; ++i) {
+    EXPECT_STRNE(to_string(static_cast<Unit>(i)), "?") << "unit " << i;
+  }
+}
+
+TEST(Isa, HalfOpsOccupyTheSameSlotsAsTheirF32Peers) {
+  // The half-width extension must not invent issue bandwidth: VLDH/VSTH
+  // share the two VLS slots, VFMULAH32 the three VFMACs, and SVBCASTH
+  // the single broadcast-duty slot (the 64-bit/cycle broadcast ceiling).
+  EXPECT_EQ(admissible_units(Opcode::VLDH), admissible_units(Opcode::VLDW));
+  EXPECT_EQ(admissible_units(Opcode::VSTH), admissible_units(Opcode::VSTW));
+  EXPECT_EQ(admissible_units(Opcode::VFMULAH32),
+            admissible_units(Opcode::VFMULAS32));
+  EXPECT_EQ(admissible_units(Opcode::SVBCASTH),
+            admissible_units(Opcode::SVBCAST2));
+  const auto one_bit = [](std::uint32_t m) { return m && !(m & (m - 1)); };
+  EXPECT_TRUE(one_bit(admissible_units(Opcode::SVBCASTH)));
+}
+
 TEST(Isa, ProgramDisassemblyAndOpCount) {
   Program p;
   p.name = "demo";

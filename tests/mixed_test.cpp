@@ -1,0 +1,271 @@
+// Mixed-precision tier + Strassen correctness (ISSUE 10,
+// docs/precision.md): FP16/BF16 GEMM against a double reference with
+// sqrt-law bounds, conversion edge cases (subnormals, NaN payloads, BF16
+// truncation-vs-RNE), detailed-vs-fast half kernel bit identity, hostsimd
+// dot2 tier identity, and the Strassen tolerance-not-memcmp policy at
+// 1/2/3 recursion levels.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "ftm/core/hgemm.hpp"
+#include "ftm/core/strassen.hpp"
+#include "ftm/kernelgen/hostsimd.hpp"
+#include "ftm/kernelgen/microkernel.hpp"
+#include "ftm/util/half.hpp"
+#include "ftm/util/matrix.hpp"
+#include "ftm/util/prng.hpp"
+
+namespace ftm::core {
+namespace {
+
+using kernelgen::DType;
+
+FtimmEngine& engine() {
+  static FtimmEngine e;
+  return e;
+}
+
+struct Shape {
+  std::size_t m, n, k;
+};
+
+// ---- FP16/BF16 GEMM vs double reference ---------------------------------
+
+/// Double-precision reference on the *rounded* operands: the only error
+/// left is the FP32 accumulation, which grows as sqrt(k) for random
+/// inputs (the sqrt-law bound below; eps_f32 = 2^-24 with headroom).
+void check_half_gemm(const Shape& s, DType dt) {
+  const bool bf = dt == DType::BF16;
+  Prng rng(s.m * 13 + s.n * 7 + s.k * 3 + (bf ? 1 : 0));
+  HostMatrix a(s.m, s.k), b(s.k, s.n), c(s.m, s.n);
+  a.fill_random(rng);
+  b.fill_random(rng);
+  c.fill_random(rng);
+  std::vector<double> expect(s.m * s.n);
+  for (std::size_t i = 0; i < s.m; ++i)
+    for (std::size_t j = 0; j < s.n; ++j)
+      expect[i * s.n + j] = c.at(i, j);
+  for (std::size_t i = 0; i < s.m; ++i)
+    for (std::size_t p = 0; p < s.k; ++p) {
+      const double av =
+          util::half_to_f32(util::f32_to_half(a.at(i, p), bf), bf);
+      for (std::size_t j = 0; j < s.n; ++j)
+        expect[i * s.n + j] +=
+            av * util::half_to_f32(util::f32_to_half(b.at(p, j), bf), bf);
+    }
+
+  FtimmOptions opt;
+  opt.dtype = dt;
+  const GemmResult r =
+      engine().sgemm(GemmInput::bound(a.view(), b.view(), c.view()), opt);
+  EXPECT_GT(r.cycles, 0u);
+  EXPECT_EQ(r.dtype, dt);
+  double worst = 0;
+  for (std::size_t i = 0; i < s.m; ++i)
+    for (std::size_t j = 0; j < s.n; ++j) {
+      const double denom = std::max(1.0, std::abs(expect[i * s.n + j]));
+      worst = std::max(
+          worst, std::abs(c.at(i, j) - expect[i * s.n + j]) / denom);
+    }
+  EXPECT_LT(worst, 1e-6 * std::sqrt(static_cast<double>(s.k)))
+      << s.m << "x" << s.n << "x" << s.k << (bf ? " bf16" : " f16");
+}
+
+class HalfGemmShapes : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(HalfGemmShapes, F16MatchesDoubleReference) {
+  check_half_gemm(GetParam(), DType::F16);
+}
+
+TEST_P(HalfGemmShapes, BF16MatchesDoubleReference) {
+  check_half_gemm(GetParam(), DType::BF16);
+}
+
+// The n > 96 shapes exercise the 96-column panel loop in hgemm_f32; the
+// odd k values exercise the pad-to-multiple-of-4 path.
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, HalfGemmShapes,
+    ::testing::Values(Shape{64, 32, 64}, Shape{100, 96, 33},
+                      Shape{70, 250, 36}, Shape{17, 5, 9},
+                      Shape{33, 130, 257}, Shape{256, 48, 512}));
+
+// ---- conversion edge cases ----------------------------------------------
+
+TEST(HalfPacking, SubnormalsRoundTripGradually) {
+  // 1e-5 sits below FP16's min normal (2^-14 ~ 6.1e-5): it must become a
+  // half subnormal, not zero, and widen back within one ulp (2^-24).
+  const float tiny = 1e-5f;
+  const float rt = util::f16_to_f32(util::f32_to_f16(tiny));
+  EXPECT_NE(rt, 0.0f);
+  EXPECT_NEAR(rt, tiny, std::ldexp(1.0f, -24));
+  // An FP32 subnormal is below even FP16's subnormal range: flush to a
+  // signed zero, never garbage.
+  EXPECT_EQ(util::f32_to_f16(1e-40f), 0x0000u);
+  EXPECT_EQ(util::f32_to_f16(-1e-40f), 0x8000u);
+  // BF16 shares FP32's exponent range, so the same value stays normal.
+  EXPECT_NEAR(util::bf16_to_f32(util::f32_to_bf16(tiny)), tiny,
+              1e-5f / 128);
+}
+
+TEST(HalfPacking, NanPayloadsSurviveQuieted) {
+  const float payload_nan =
+      util::f32_from_bits(0x7F800000u | 0x123456u);  // signaling-ish NaN
+  const std::uint16_t h = util::f32_to_f16(payload_nan);
+  EXPECT_TRUE(std::isnan(util::f16_to_f32(h)));
+  EXPECT_EQ(h & 0x0200u, 0x0200u);  // quiet bit forced
+  EXPECT_EQ(h & 0x01FFu, (0x123456u >> 13) & 0x01FFu);  // top payload kept
+  const std::uint16_t bh = util::f32_to_bf16(payload_nan);
+  EXPECT_TRUE(std::isnan(util::bf16_to_f32(bh)));
+  EXPECT_EQ(bh & 0x0040u, 0x0040u);
+  // Widening keeps the half payload left-aligned in the f32 fraction.
+  EXPECT_EQ(util::f32_bits(util::f16_to_f32(h)) & 0x7FE000u,
+            static_cast<std::uint32_t>(h & 0x3FFu) << 13);
+}
+
+TEST(HalfPacking, Bf16TruncationDiffersFromRne) {
+  // 0x3F80FFFF: truncation drops the set low bits, RNE rounds up.
+  const float f = util::f32_from_bits(0x3F80FFFFu);
+  EXPECT_EQ(util::f32_to_bf16_trunc(f), 0x3F80u);
+  EXPECT_EQ(util::f32_to_bf16(f), 0x3F81u);
+  // Exact tie with an even target: RNE agrees with truncation.
+  const float tie_even = util::f32_from_bits(0x3F808000u);
+  EXPECT_EQ(util::f32_to_bf16(tie_even), 0x3F80u);
+  EXPECT_EQ(util::f32_to_bf16_trunc(tie_even), 0x3F80u);
+  // Exact tie with an odd target: RNE rounds to even, truncation stays.
+  const float tie_odd = util::f32_from_bits(0x3F818000u);
+  EXPECT_EQ(util::f32_to_bf16(tie_odd), 0x3F82u);
+  EXPECT_EQ(util::f32_to_bf16_trunc(tie_odd), 0x3F81u);
+}
+
+// ---- hostsimd dot2 tiers vs the scalar contract -------------------------
+
+void check_dot2_tier(bool bf) {
+  // The dispatched tier (AVX2/F16C, NEON, or scalar) must match the
+  // documented scalar semantics bit-for-bit: low-pair FMA strictly first.
+  Prng rng(bf ? 77 : 42);
+  const std::size_t n = 97;  // odd length exercises the SIMD tail
+  std::vector<float> acc(n), ref(n);
+  std::vector<std::uint32_t> b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    acc[i] = rng.next_float(-2, 2);
+    ref[i] = acc[i];
+    // Mix magnitudes so some halves land subnormal after rounding.
+    const float lo = rng.next_float(-1, 1) * (i % 7 == 0 ? 1e-6f : 1.0f);
+    const float hi = rng.next_float(-1, 1);
+    b[i] = util::f32_to_half(lo, bf) |
+           (static_cast<std::uint32_t>(util::f32_to_half(hi, bf)) << 16);
+  }
+  const std::uint16_t a0 = util::f32_to_half(0.3125f, bf);
+  const std::uint16_t a1 = util::f32_to_half(-1.75f, bf);
+  if (bf) {
+    kernelgen::hostsimd::dot2_bf16(acc.data(), a0, a1, b.data(), n);
+  } else {
+    kernelgen::hostsimd::dot2_f16(acc.data(), a0, a1, b.data(), n);
+  }
+  const float wa0 = util::half_to_f32(a0, bf);
+  const float wa1 = util::half_to_f32(a1, bf);
+  for (std::size_t i = 0; i < n; ++i) {
+    const float blo = util::half_to_f32(
+        static_cast<std::uint16_t>(b[i] & 0xFFFFu), bf);
+    const float bhi = util::half_to_f32(
+        static_cast<std::uint16_t>(b[i] >> 16), bf);
+    ref[i] = std::fmaf(wa1, bhi, std::fmaf(wa0, blo, ref[i]));
+    ASSERT_EQ(acc[i], ref[i]) << "lane " << i << (bf ? " bf16" : " f16");
+  }
+}
+
+TEST(HostSimd, Dot2F16TierMatchesScalarContract) { check_dot2_tier(false); }
+TEST(HostSimd, Dot2Bf16TierMatchesScalarContract) { check_dot2_tier(true); }
+
+// ---- detailed simulator vs fast path ------------------------------------
+
+TEST(HalfFastPath, BitIdenticalToDetailed) {
+  const auto& mc = isa::default_machine();
+  for (const DType dt : {DType::F16, DType::BF16}) {
+    const bool bf = dt == DType::BF16;
+    SCOPED_TRACE(bf ? "bf16" : "f16");
+    kernelgen::KernelSpec spec{6, 64, 96};
+    spec.dtype = dt;
+    kernelgen::MicroKernel uk(spec, mc);
+    sim::DspCore core(mc);
+    const auto a = core.sm().alloc(spec.a_bytes());
+    const auto b = core.am().alloc(spec.b_bytes());
+    const auto c = core.am().alloc(spec.c_bytes());
+    const int ld = spec.am_row_elems();
+
+    Prng rng(1234 + (bf ? 1 : 0));
+    std::vector<std::uint16_t> ha(spec.ms * spec.ka);
+    std::vector<std::uint32_t> hb(spec.kpairs() * ld);
+    std::vector<float> hc(spec.ms * ld);
+    for (auto& v : ha) v = util::f32_to_half(rng.next_float(-1, 1), bf);
+    for (auto& v : hb) {
+      v = util::f32_to_half(rng.next_float(-1, 1), bf) |
+          (static_cast<std::uint32_t>(
+               util::f32_to_half(rng.next_float(-1, 1), bf))
+           << 16);
+    }
+    for (auto& v : hc) v = rng.next_float(-1, 1);
+
+    std::memcpy(core.sm().raw(a.offset, ha.size() * 2), ha.data(),
+                ha.size() * 2);
+    std::memcpy(core.am().raw(b.offset, hb.size() * 4), hb.data(),
+                hb.size() * 4);
+    std::memcpy(core.am().raw(c.offset, hc.size() * 4), hc.data(),
+                hc.size() * 4);
+
+    uk.run_detailed(core, a.offset, b.offset, c.offset);
+    const std::uint64_t fast_cycles =
+        uk.run_fast_half(ha.data(), hb.data(), hc.data());
+
+    EXPECT_EQ(fast_cycles, uk.cycles());
+    const float* detailed = core.am().f32(c.offset, hc.size());
+    for (std::size_t i = 0; i < hc.size(); ++i) {
+      ASSERT_EQ(hc[i], detailed[i]) << "element " << i;
+    }
+  }
+}
+
+// ---- Strassen tolerance policy ------------------------------------------
+
+TEST(Strassen, WithinScaledToleranceAtEachRecursionDepth) {
+  // Strassen reassociates the accumulation, so the policy is tolerance,
+  // never memcmp (strassen.hpp): each level can roughly double the error
+  // constant, hence gemm_tolerance(k) << levels.
+  const std::size_t d = 128;
+  Prng rng(5150);
+  HostMatrix a(d, d), b(d, d), cref(d, d);
+  a.fill_random(rng);
+  b.fill_random(rng);
+  cref.fill_random(rng);
+  FtimmOptions opt;
+  const GemmResult rr = engine().sgemm(
+      GemmInput::bound(a.view(), b.view(), cref.view()), opt);
+  ASSERT_GT(rr.cycles, 0u);
+
+  const struct {
+    std::size_t cutoff;
+    int levels;
+  } cases[] = {{64, 1}, {32, 2}, {16, 3}};
+  for (const auto& tc : cases) {
+    HostMatrix c(d, d);
+    Prng rng2(5150);
+    HostMatrix a2(d, d), b2(d, d);
+    a2.fill_random(rng2);
+    b2.fill_random(rng2);
+    c.fill_random(rng2);
+    const GemmResult rs = strassen_gemm(
+        engine(), GemmInput::bound(a2.view(), b2.view(), c.view()),
+        tc.cutoff, opt);
+    EXPECT_EQ(rs.strategy, Strategy::Strassen);
+    EXPECT_EQ(rs.strassen_levels, tc.levels) << "cutoff " << tc.cutoff;
+    const double tol = gemm_tolerance(d) * (1 << tc.levels);
+    EXPECT_LT(max_rel_diff(c.view(), cref.view()), tol)
+        << "cutoff " << tc.cutoff;
+  }
+}
+
+}  // namespace
+}  // namespace ftm::core

@@ -56,6 +56,21 @@ TEST(ShapeClassTest, NearbyShapesShareAClass) {
   EXPECT_EQ(ShapeClass::of(262144, 32, 32, 8).key(), "m18-n5-k5-c8");
 }
 
+TEST(ShapeClassTest, DtypeIsAClassAxis) {
+  // F32 keys keep the schema-1 spelling; half classes are distinct and
+  // carry a -dt suffix.
+  EXPECT_EQ(ShapeClass::of(262144, 32, 32, 8, kernelgen::DType::F32).key(),
+            "m18-n5-k5-c8");
+  EXPECT_EQ(ShapeClass::of(262144, 32, 32, 8, kernelgen::DType::F16).key(),
+            "m18-n5-k5-c8-dt2");
+  EXPECT_EQ(ShapeClass::of(262144, 32, 32, 8, kernelgen::DType::BF16).key(),
+            "m18-n5-k5-c8-dt3");
+  EXPECT_NE(ShapeClass::of(262144, 32, 32, 8, kernelgen::DType::F16),
+            ShapeClass::of(262144, 32, 32, 8, kernelgen::DType::BF16));
+  EXPECT_NE(ShapeClass::of(262144, 32, 32, 8, kernelgen::DType::F16),
+            ShapeClass::of(262144, 32, 32, 8));
+}
+
 TEST(ShapeClassTest, MachineHashSeesEveryField) {
   isa::MachineConfig a = isa::default_machine();
   isa::MachineConfig b = a;
@@ -129,11 +144,103 @@ TEST(TuningCacheTest, SchemaMismatchFallsBack) {
   TuningCache full;
   full.put(make_entry(262144, 32, 32));
   std::string text = full.serialize();
-  const std::string from = "\"schema\": 1";
+  const std::string from = "\"schema\": 2";
   text.replace(text.find(from), from.size(), "\"schema\": 999");
   TuningCache cache;
   EXPECT_EQ(cache.deserialize(text), LoadStatus::SchemaMismatch);
   EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(TuningCacheTest, SchemaV1FileFallsBackToAnalytic) {
+  // A pre-ISSUE-10 cache file (schema 1, no "dtype" field) must load as
+  // SchemaMismatch — same engine behavior as a missing file — and leave
+  // the in-memory cache untouched.
+  const std::string v1 =
+      "{\n  \"schema\": 1,\n  \"machine\": \"0000000000000000\",\n"
+      "  \"entries\": [\n"
+      "    {\"class\": \"m18-n5-k5-c8\", \"mb\": 18, \"nb\": 5, \"kb\": 5,"
+      " \"cores\": 8,\n     \"strategy\": \"ftimm-M\", \"m\": 262144,"
+      " \"n\": 32, \"k\": 32, \"dma_buffers\": 2,\n"
+      "     \"tuned_cycles\": 123, \"default_cycles\": 456, \"seed\": 1,\n"
+      "     \"blocks\": {\"kg\": 5888, \"ng\": 96, \"ma\": 320,"
+      " \"na\": 96, \"ka\": 864, \"ms\": 8}}\n  ]\n}\n";
+  TuningCache cache;
+  EXPECT_EQ(cache.deserialize(v1), LoadStatus::SchemaMismatch);
+  EXPECT_EQ(cache.size(), 0u);
+  core::FtimmOptions opt;
+  EXPECT_FALSE(cache.lookup(262144, 32, 32, opt).has_value());
+}
+
+TEST(TuningCacheTest, StrassenAndDtypeEntriesRoundTrip) {
+  TuningCache cache;
+  TunedEntry s = make_entry(16384, 16384, 16384);
+  s.strategy = core::Strategy::Strassen;
+  s.strassen_cutoff = 8192;
+  cache.put(s);
+  TunedEntry h = make_entry(262144, 32, 32);
+  h.cls = ShapeClass::of(262144, 32, 32, 8, kernelgen::DType::F16);
+  cache.put(h);
+  const std::string text = cache.serialize();
+  EXPECT_NE(text.find("\"strategy\": \"strassen\""), std::string::npos);
+  EXPECT_NE(text.find("\"cutoff\": 8192"), std::string::npos);
+  EXPECT_NE(text.find("-dt2"), std::string::npos);
+  TuningCache loaded;
+  ASSERT_EQ(loaded.deserialize(text), LoadStatus::Ok);
+  EXPECT_EQ(loaded.serialize(), text);
+  const auto hit = loaded.find(s.cls);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->strategy, core::Strategy::Strassen);
+  EXPECT_EQ(hit->strassen_cutoff, 8192u);
+
+  // lookup() keys on the request dtype: the F16 entry is invisible to an
+  // F32 request and vice versa, and the Strassen entry binds to a plan
+  // that carries its cutoff.
+  core::FtimmOptions f32;
+  EXPECT_FALSE(loaded.lookup(262144, 32, 32, f32).has_value());
+  core::FtimmOptions f16 = f32;
+  f16.dtype = kernelgen::DType::F16;
+  EXPECT_TRUE(loaded.lookup(262144, 32, 32, f16).has_value());
+  const auto sp = loaded.lookup(16384, 16384, 16384, f32);
+  ASSERT_TRUE(sp.has_value());
+  EXPECT_EQ(sp->strategy, core::Strategy::Strassen);
+  EXPECT_EQ(sp->strassen_cutoff, 8192u);
+}
+
+TEST(EngineIntegrationTest, TunedStrassenPlanRunsStrassen) {
+  const isa::MachineConfig mc = isa::default_machine();
+  auto cache = std::make_shared<TuningCache>(mc);
+  TunedEntry e;
+  e.cls = ShapeClass::of(1024, 1024, 1024, 8);
+  e.strategy = core::Strategy::Strassen;
+  e.strassen_cutoff = 256;
+  e.m = 1024;
+  e.n = 1024;
+  e.k = 1024;
+  cache->put(e);
+  core::FtimmEngine eng(mc);
+  eng.set_plan_provider(cache);
+  core::FtimmOptions opt;
+  opt.functional = false;
+  const auto r = eng.sgemm(core::GemmInput::shape_only(1024, 1024, 1024), opt);
+  EXPECT_EQ(r.strategy, core::Strategy::Strassen);
+  EXPECT_EQ(r.strassen_levels, 2);
+}
+
+TEST(TunerTest, HalfEntriesTuneIntoTheirOwnClass) {
+  const isa::MachineConfig mc = isa::default_machine();
+  tune::TunerOptions to;
+  to.dtype = kernelgen::DType::BF16;
+  Tuner tuner(mc, to);
+  TuningCache cache(mc);
+  tuner.tune_into(cache, {{4096, 64, 4096}});
+  ASSERT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.entries()[0].cls.dtype,
+            static_cast<int>(kernelgen::DType::BF16));
+  core::FtimmOptions bf16;
+  bf16.dtype = kernelgen::DType::BF16;
+  EXPECT_TRUE(cache.lookup(4096, 64, 4096, bf16).has_value());
+  core::FtimmOptions f32;
+  EXPECT_FALSE(cache.lookup(4096, 64, 4096, f32).has_value());
 }
 
 TEST(TuningCacheTest, MachineMismatchFallsBack) {

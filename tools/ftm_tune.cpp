@@ -94,12 +94,22 @@ int main(int argc, char** argv) {
     std::printf(
         "usage: ftm_tune [--smoke] [--out FILE] [--cache FILE]\n"
         "                [--shapes \"M,N,K;M,N,K;...\"] [--cores N]\n"
-        "                [--budget N] [--rounds N] [--seed N] [--csv FILE]\n");
+        "                [--dtype f32|f16|bf16] [--budget N] [--rounds N]\n"
+        "                [--seed N] [--csv FILE]\n");
     return 0;
   }
   if (cli.get_bool("smoke", false)) return smoke();
 
   ftm::tune::TunerOptions to;
+  const std::string dtype = cli.get("dtype", "f32");
+  if (dtype == "f16") {
+    to.dtype = ftm::kernelgen::DType::F16;
+  } else if (dtype == "bf16") {
+    to.dtype = ftm::kernelgen::DType::BF16;
+  } else if (dtype != "f32") {
+    std::fprintf(stderr, "ftm_tune: bad --dtype '%s'\n", dtype.c_str());
+    return 2;
+  }
   to.cores = static_cast<int>(cli.get_int("cores", to.cores));
   to.budget = static_cast<int>(cli.get_int("budget", to.budget));
   to.rounds = static_cast<int>(cli.get_int("rounds", to.rounds));
